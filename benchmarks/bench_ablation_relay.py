@@ -1,0 +1,83 @@
+"""Ablation — relay chunk size (the design choice behind Table 2).
+
+Sweeps the relay read-buffer size and shows the trade DESIGN.md calls
+out: bigger chunks amortize per-chunk CPU (higher proxied throughput)
+but today's Table 2 latency/bandwidth pair pins the deployed value.
+Also cross-checks simulation against the analytic chain model.
+"""
+
+import pytest
+
+from conftest import once
+from repro.bench.calibrate import table2_chain_models
+from repro.cluster import Testbed, TestbedParams
+from repro.core import FramedConnection, NexusProxyClient, RelayConfig
+from repro.util.tables import Table
+from repro.util.units import MIB_MESSAGE, fmt_rate
+
+CHUNKS = [512, 1024, 4096, 16384]
+
+
+def proxied_1mb_bandwidth(chunk_bytes: int) -> float:
+    relay = RelayConfig().with_overrides(chunk_bytes=chunk_bytes)
+    tb = Testbed(relay_config=relay)
+    out = {}
+
+    def orchestrate():
+        inside = NexusProxyClient(tb.rwcp_sun, **tb.proxy_addrs,
+                                  config=relay)
+        listener = yield from inside.bind()
+
+        def peer():
+            # LAN peer: compas-0 dials the public port.
+            conn = yield from tb.compas[0].connect(listener.proxy_addr)
+            framed = FramedConnection(conn, relay.chunk_bytes)
+            yield framed.send(b"", nbytes=MIB_MESSAGE)
+
+        tb.sim.process(peer())
+        framed = yield from listener.accept()
+        t0 = tb.sim.now
+        payload, n = yield from framed.recv()
+        out["bw"] = n / (tb.sim.now - t0)
+
+    p = tb.sim.process(orchestrate())
+    tb.sim.run(until=p)
+    return out["bw"]
+
+
+def run_sweep():
+    return {c: proxied_1mb_bandwidth(c) for c in CHUNKS}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def test_relay_chunk_ablation_regeneration(benchmark):
+    res = once(benchmark, run_sweep)
+    t = Table(
+        ["chunk bytes", "proxied 1MB bandwidth (LAN)", "analytic asymptote"],
+        title="Ablation: relay chunk size vs proxied throughput",
+    )
+    for chunk, bw in res.items():
+        model = table2_chain_models(
+            relay=RelayConfig().with_overrides(chunk_bytes=chunk)
+        )["RWCP-Sun <-> COMPaS (indirect)"]
+        t.add_row([chunk, fmt_rate(bw), fmt_rate(model.asymptotic_bandwidth())])
+    print()
+    print(t.render())
+
+
+def test_throughput_monotone_in_chunk_size(sweep):
+    bws = [sweep[c] for c in CHUNKS]
+    assert bws == sorted(bws)
+
+
+def test_simulation_matches_analytic_model(sweep):
+    for chunk, bw in sweep.items():
+        model = table2_chain_models(
+            relay=RelayConfig().with_overrides(chunk_bytes=chunk)
+        )["RWCP-Sun <-> COMPaS (indirect)"]
+        predicted = model.bandwidth(MIB_MESSAGE)
+        assert bw == pytest.approx(predicted, rel=0.25), chunk

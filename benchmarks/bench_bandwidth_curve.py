@@ -1,0 +1,127 @@
+"""§4.2's prose as a figure: bandwidth vs. message size, all four paths.
+
+"As message size increases however, the bandwidth when utilizing the
+Nexus Proxy is close to the bandwidth of the direct communication."
+This bench sweeps message sizes 1 KB → 1 MB on each Table 2 path and
+prints the resulting curves, asserting the convergence structure:
+
+* every curve is monotone non-decreasing in message size;
+* on the WAN the proxied/direct ratio climbs toward 1;
+* on the LAN it converges to the relay's throughput ceiling instead.
+"""
+
+import pytest
+
+from conftest import once
+from repro.bench.table2 import _measure  # reuse the Table 2 harness paths
+from repro.cluster import Testbed
+from repro.core import FramedConnection, NexusProxyClient
+from repro.util.tables import Table
+from repro.util.units import fmt_rate
+
+SIZES = [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20]
+
+
+def sweep(pair: str, indirect: bool) -> dict[int, float]:
+    """One-way bandwidth per message size on a fresh testbed."""
+    tb = Testbed()
+    if pair == "wan" and not indirect:
+        tb.open_firewall_for_direct_runs()
+    if pair == "lan":
+        client_host, server_host = tb.rwcp_sun, tb.compas[0]
+    else:
+        client_host, server_host = tb.etl_sun, tb.rwcp_sun
+    chunk = tb.relay_config.chunk_bytes
+    out: dict[int, float] = {}
+
+    def orchestrate():
+        if indirect:
+            server = NexusProxyClient(server_host, **tb.proxy_addrs)
+            listener = yield from server.bind()
+
+            def echo():
+                framed = yield from listener.accept()
+                while True:
+                    payload, n = yield from framed.recv()
+                    yield framed.send(payload, nbytes=n)
+
+            tb.sim.process(echo())
+            client = NexusProxyClient(client_host, **tb.proxy_addrs)
+            framed = yield from client.connect(listener.proxy_addr)
+        else:
+            lsock = server_host.listen(9901)
+
+            def echo():
+                conn = yield lsock.accept()
+                framed_srv = FramedConnection(conn, chunk)
+                while True:
+                    payload, n = yield from framed_srv.recv()
+                    yield framed_srv.send(payload, nbytes=n)
+
+            tb.sim.process(echo())
+            plain = NexusProxyClient(client_host)
+            framed = yield from plain.connect((server_host.name, 9901))
+        yield framed.send(b"w", nbytes=16)  # warm-up
+        yield from framed.recv()
+        for size in SIZES:
+            t0 = tb.sim.now
+            yield framed.send(b"p", nbytes=size)
+            yield from framed.recv()
+            out[size] = size / ((tb.sim.now - t0) / 2)
+        framed.close()
+
+    p = tb.sim.process(orchestrate())
+    tb.sim.run(until=p)
+    return out
+
+
+def run_curves():
+    return {
+        "lan-direct": sweep("lan", False),
+        "lan-indirect": sweep("lan", True),
+        "wan-direct": sweep("wan", False),
+        "wan-indirect": sweep("wan", True),
+    }
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return run_curves()
+
+
+def test_bandwidth_curve_regeneration(benchmark):
+    res = once(benchmark, run_curves)
+    t = Table(
+        ["size"] + list(res),
+        title="Bandwidth vs message size (the §4.2 convergence)",
+    )
+    for size in SIZES:
+        t.add_row(
+            [f"{size >> 10} KB"] + [fmt_rate(res[path][size]) for path in res]
+        )
+    print()
+    print(t.render())
+
+
+def test_curves_monotone(curves):
+    for path, curve in curves.items():
+        bws = [curve[s] for s in SIZES]
+        assert all(b2 >= b1 * 0.99 for b1, b2 in zip(bws, bws[1:])), path
+
+
+def test_wan_ratio_converges_to_one(curves):
+    ratios = [
+        curves["wan-indirect"][s] / curves["wan-direct"][s] for s in SIZES
+    ]
+    assert ratios[0] < 0.6  # small messages: the proxy hurts
+    assert ratios[-1] > 0.95  # large messages: negligible
+    assert ratios == sorted(ratios)
+
+
+def test_lan_ratio_converges_to_relay_ceiling(curves):
+    ratios = [
+        curves["lan-indirect"][s] / curves["lan-direct"][s] for s in SIZES
+    ]
+    # Converges, but far below 1: the relay CPU is the LAN ceiling.
+    assert ratios[-1] < 0.2
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,69 @@
+"""Figures 1 & 5 — the wide-area cluster system and its environment.
+
+Builds the Figure 5 testbed and verifies its structural invariants:
+machine inventory, link speeds, and the full reachability matrix that
+motivates the paper (outside cannot reach inside; the nxport is the
+only inbound hole; the proxy restores connectivity).
+"""
+
+import pytest
+
+from conftest import once
+from repro.cluster import CATALOGUE, Testbed
+from repro.util.tables import Table
+from repro.util.units import fmt_rate
+
+
+def build_testbed():
+    return Testbed()
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return build_testbed()
+
+
+def test_fig5_regeneration(benchmark):
+    tb = once(benchmark, build_testbed)
+    t = Table(
+        ["site", "nickname", "system", "cpus", "rel. speed"],
+        title="Figure 5: Experimental Environment",
+    )
+    for spec in CATALOGUE.values():
+        t.add_row([spec.site, spec.nickname, spec.description, spec.cpus,
+                   spec.cpu_speed])
+    print()
+    print(t.render())
+    wan = next(l for l in tb.net.links() if l.name == "IMNet")
+    print(f"\nIMNet: {fmt_rate(wan.bandwidth)} "
+          f"({wan.latency * 1e3:.2f} ms one-way) -- paper: 1.5 Mbps")
+    assert wan.bandwidth == pytest.approx(187_500)
+
+
+def test_host_inventory(tb):
+    assert len(tb.compas) == 8
+    for name in ("rwcp-sun", "inner-server", "outer-server", "etl-sun", "etl-o2k"):
+        assert tb.host(name)
+
+
+def test_reachability_matrix(tb):
+    """The firewall problem, and the proxy's answer, in one matrix."""
+    can = tb.net.can_connect
+    # Outside -> inside: denied (the paper's problem statement).
+    assert not can("etl-sun", "rwcp-sun", 5000)
+    assert not can("etl-o2k", "compas-0", 5000)
+    assert not can("outer-server", "rwcp-sun", 5000)
+    # Inside -> outside: allowed (outbound is allow-based).
+    assert can("rwcp-sun", "etl-sun", 5000)
+    assert can("compas-3", "outer-server", tb.relay_config.control_port)
+    # The single inbound hole: outer -> inner on the nxport, and only
+    # that pair on that port.
+    assert can("outer-server", "inner-server", tb.relay_config.nxport)
+    assert not can("etl-sun", "inner-server", tb.relay_config.nxport)
+    assert not can("outer-server", "rwcp-sun", tb.relay_config.nxport)
+    # Intra-site is unfiltered.
+    assert can("rwcp-sun", "compas-0", 5000)
+
+
+def test_firewall_exposure_is_one_port(tb):
+    assert tb.rwcp_firewall.exposure() == 1

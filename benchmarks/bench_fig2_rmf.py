@@ -1,0 +1,79 @@
+"""Figure 2 — the RMF architecture: six-step submission flow timing.
+
+Runs a full gatekeeper → job manager → Q client → allocator →
+Q server → job flow on the simulated testbed, with the knapsack solver
+as the executable, and reports per-phase timing.  Asserts the flow
+crosses the firewall only through the RMF pinholes.
+"""
+
+import pytest
+
+from conftest import once
+from repro.apps.knapsack import (
+    optimal_value,
+    register_knapsack_executable,
+    scaled_instance,
+)
+from repro.cluster import Testbed
+from repro.rmf import RMFSystem
+from repro.util.tables import Table
+
+
+def run_rmf_flow():
+    tb = Testbed()
+    rmf = RMFSystem(tb.outer_host, tb.inner_host)
+    register_knapsack_executable(rmf.registry)
+    rmf.add_resource(tb.rwcp_sun, name="RWCP-Sun", cpus=4, slots=1)
+    rmf.add_resource(tb.compas[0], name="COMPaS-0", cpus=4, slots=1)
+    rmf.start()
+
+    inst = scaled_instance(n=28, target_nodes=60_000, seed=2)
+    rmf.gatekeeper.staging.put("data.txt", inst.serialize())
+
+    t0 = tb.sim.now
+    proc = tb.sim.process(
+        rmf.submit(
+            tb.etl_sun,
+            "&(executable=knapsack)(count=4)(arguments=data.txt)"
+            "(stage_in=data.txt)(stage_out=result.txt)(resource=RWCP-Sun)",
+        )
+    )
+    reply = tb.sim.run(until=proc)
+    elapsed = tb.sim.now - t0
+    return tb, rmf, inst, reply, elapsed
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return run_rmf_flow()
+
+
+def test_fig2_regeneration(benchmark):
+    tb, rmf, inst, reply, elapsed = once(benchmark, run_rmf_flow)
+    t = Table(["step", "value"], title="Figure 2: RMF submission flow")
+    t.add_row(["gatekeeper requests handled", rmf.gatekeeper.requests_handled])
+    t.add_row(["allocator requests served", rmf.allocator.requests_served])
+    t.add_row(["jobs run on Q servers", sum(q.jobs_run for q in rmf.qservers)])
+    t.add_row(["job turnaround (sim sec)", f"{elapsed:.2f}"])
+    t.add_row(["job stdout", reply.stdout.strip()])
+    print()
+    print(t.render())
+
+
+def test_flow_succeeds_behind_firewall(flow):
+    tb, rmf, inst, reply, elapsed = flow
+    assert reply.all_succeeded
+    assert f"best={optimal_value(inst)}" in reply.stdout
+
+
+def test_result_staged_back_out(flow):
+    tb, rmf, inst, reply, elapsed = flow
+    assert "result.txt" in reply.results[0].output_files
+    best = int(reply.results[0].output_files["result.txt"].split()[0])
+    assert best == optimal_value(inst)
+
+
+def test_firewall_exposure_is_pinned_pinholes_only(flow):
+    tb, rmf, inst, reply, elapsed = flow
+    for rule in tb.rwcp_firewall.rules:
+        assert rule.src_host is not None  # every hole pinned to a peer

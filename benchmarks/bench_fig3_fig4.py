@@ -1,0 +1,120 @@
+"""Figures 3 & 4 — active vs. passive proxied connection mechanisms.
+
+Measures connection-establishment time and first-message latency for
+the two chain shapes:
+
+* Fig. 3 (active): client → outer → destination (one relay);
+* Fig. 4 (passive): peer → outer → inner → client (two relays).
+
+Asserts the structural consequence: the passive chain pays the extra
+inner-server traversal in both setup and per-message latency.
+"""
+
+import pytest
+
+from conftest import once
+from repro.cluster import Testbed
+from repro.core import NexusProxyClient
+from repro.util.tables import Table
+
+
+def measure_chains():
+    out = {}
+
+    # -- Fig. 3: active open, pa (inside) -> etl-sun (outside) ---------
+    tb = Testbed()
+    lsock = tb.etl_sun.listen(9000)
+
+    def fig3():
+        client = NexusProxyClient(tb.rwcp_sun, **tb.proxy_addrs)
+        t0 = tb.sim.now
+        framed = yield from client.connect(("etl-sun", 9000))
+        t_conn = tb.sim.now - t0
+        t0 = tb.sim.now
+        yield framed.send(b"x", nbytes=64)
+        payload, _ = yield from echo_recv(framed)
+        t_rtt = tb.sim.now - t0
+        return t_conn, t_rtt / 2
+
+    def echo_server():
+        conn = yield lsock.accept()
+        from repro.core import FramedConnection
+
+        framed = FramedConnection(conn, tb.relay_config.chunk_bytes)
+        payload, n = yield from framed.recv()
+        yield framed.send(payload, nbytes=n)
+
+    def echo_recv(framed):
+        return (yield from framed.recv())
+
+    tb.sim.process(echo_server())
+    p = tb.sim.process(fig3())
+    out["active"] = tb.sim.run(until=p)
+
+    # -- Fig. 4: passive open, etl-sun -> pa (inside) --------------------
+    tb = Testbed()
+
+    def fig4():
+        inside = NexusProxyClient(tb.rwcp_sun, **tb.proxy_addrs)
+        listener = yield from inside.bind()
+
+        results = {}
+
+        def peer():
+            t0 = tb.sim.now
+            conn = yield from tb.etl_sun.connect(listener.proxy_addr)
+            from repro.core import FramedConnection
+
+            framed = FramedConnection(conn, tb.relay_config.chunk_bytes)
+            results["t_conn"] = tb.sim.now - t0
+            t0 = tb.sim.now
+            yield framed.send(b"x", nbytes=64)
+            yield from framed.recv()
+            results["t_rtt"] = tb.sim.now - t0
+
+        tb.sim.process(peer())
+        framed = yield from listener.accept()
+        payload, n = yield from framed.recv()
+        yield framed.send(payload, nbytes=n)
+        yield tb.sim.timeout(1.0)  # let the peer finish timing
+        return results["t_conn"], results["t_rtt"] / 2
+
+    p = tb.sim.process(fig4())
+    out["passive"] = tb.sim.run(until=p)
+    return out
+
+
+@pytest.fixture(scope="module")
+def chains():
+    return measure_chains()
+
+
+def test_fig3_fig4_regeneration(benchmark):
+    out = once(benchmark, measure_chains)
+    t = Table(
+        ["chain", "relays", "connect time", "one-way msg latency"],
+        title="Figures 3/4: relay chain costs",
+    )
+    t.add_row(["active (Fig. 3)", 1, f"{out['active'][0] * 1e3:.1f} msec",
+               f"{out['active'][1] * 1e3:.1f} msec"])
+    t.add_row(["passive (Fig. 4)", 2, f"{out['passive'][0] * 1e3:.1f} msec",
+               f"{out['passive'][1] * 1e3:.1f} msec"])
+    print()
+    print(t.render())
+
+
+def test_passive_chain_pays_extra_relay(chains):
+    active_lat = chains["active"][1]
+    passive_lat = chains["passive"][1]
+    # One extra relay traversal ≈ per-chunk (cpu + delay) more.
+    assert passive_lat > active_lat + 5e-3
+
+
+def test_active_chain_single_relay_latency(chains):
+    # One relay traversal + WAN ≈ 12 + 3.5 ms.
+    assert 8e-3 < chains["active"][1] < 25e-3
+
+
+def test_connect_times_are_milliseconds_not_seconds(chains):
+    for name in ("active", "passive"):
+        assert chains[name][0] < 0.2

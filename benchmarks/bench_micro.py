@@ -1,0 +1,117 @@
+"""Micro-benchmarks: the substrate's raw rates.
+
+True pytest-benchmark targets (multiple timed rounds): DES event
+throughput, branch-operation rate, analytic DP speed, and the live
+asyncio relay's loopback throughput.  These guard against performance
+regressions in the hot paths every experiment depends on.
+"""
+
+import asyncio
+
+from repro.apps.knapsack import random_instance, scaled_instance, tree_size
+from repro.apps.knapsack.search import SearchState
+from repro.simnet.kernel import Simulator
+
+
+def test_des_event_throughput(benchmark):
+    """Events processed per second by the kernel."""
+    N = 20_000
+
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(N):
+                yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result == N
+
+
+def test_branch_operation_rate(benchmark):
+    """Knapsack branch ops per second (the experiments' hot loop)."""
+    inst = scaled_instance(n=30, target_nodes=120_000, seed=7)
+
+    def run():
+        st = SearchState(inst)
+        st.push_root()
+        st.run_to_exhaustion()
+        return st.nodes_traversed
+
+    nodes = benchmark(run)
+    assert nodes == tree_size(inst)
+
+
+def test_tree_size_dp_rate(benchmark):
+    """The vectorized analytic DP on the paper-scale 50-item instance."""
+    inst = random_instance(50, seed=1)
+
+    def run():
+        return tree_size(inst)
+
+    size = benchmark(run)
+    assert size > 0
+
+
+def test_channel_pingpong_rate(benchmark):
+    """Simulated channel round trips per second."""
+    from repro.simnet.primitives import Channel
+
+    N = 5_000
+
+    def run():
+        sim = Simulator()
+        a, b = Channel(sim), Channel(sim)
+
+        def left():
+            for i in range(N):
+                yield a.put(i)
+                yield b.get()
+
+        def right():
+            for _ in range(N):
+                v = yield a.get()
+                yield b.put(v)
+
+        sim.process(left())
+        sim.process(right())
+        sim.run()
+        return N
+
+    assert benchmark(run) == N
+
+
+def test_aio_relay_loopback_throughput(benchmark):
+    """Live relay: MB moved through outer-server on loopback sockets."""
+    from repro.core.aio import AioOuterServer, AioProxyClient
+
+    PAYLOAD = b"z" * (1 << 20)  # 1 MiB
+
+    async def transfer() -> int:
+        outer = await AioOuterServer().start()
+
+        async def sink(reader, writer):
+            while await reader.read(1 << 16):
+                pass
+            writer.close()
+
+        server = await asyncio.start_server(sink, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        client = AioProxyClient(outer_addr=("127.0.0.1", outer.control_port))
+        reader, writer = await client.connect("127.0.0.1", port)
+        writer.write(PAYLOAD)
+        await writer.drain()
+        writer.close()
+        await asyncio.sleep(0)
+        server.close()
+        await outer.stop()
+        return len(PAYLOAD)
+
+    def run():
+        return asyncio.run(transfer())
+
+    assert benchmark(run) == len(PAYLOAD)

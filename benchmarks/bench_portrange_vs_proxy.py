@@ -1,0 +1,94 @@
+"""Ablation — Nexus Proxy vs. the Globus 1.1 port-range workaround.
+
+The paper's §1 argues the TCP_MIN_PORT/TCP_MAX_PORT workaround "is
+basically the same as the allow based firewall and loses the
+advantages of a deny based firewall".  This bench quantifies the trade
+both ways:
+
+* security: inbound exposure (open ports reachable from anywhere);
+* performance: the port-range mode is *direct* (no relay latency) —
+  the proxy pays its ~25 ms for the exposure-1 deployment.
+"""
+
+import pytest
+
+from conftest import once
+from repro.cluster import Testbed
+from repro.nexus import NexusContext
+from repro.util.tables import Table
+
+PORT_MIN, PORT_MAX = 40_000, 40_063  # one port per Nexus endpoint
+
+
+def measure(mode: str):
+    """One cross-firewall ping-pong; returns (latency, exposure)."""
+    tb = Testbed()
+    out = {}
+
+    if mode == "proxy":
+        server_ctx = NexusContext(tb.rwcp_sun, **tb.proxy_addrs)
+    else:
+        server_ctx = NexusContext(tb.rwcp_sun, port_min=PORT_MIN, port_max=PORT_MAX)
+        server_ctx.tcp.open_firewall_range()
+    client_ctx = NexusContext(tb.etl_sun)
+
+    def server():
+        ep = yield from server_ctx.create_endpoint("svc")
+        out["addr"] = ep.addr
+        d = yield ep.receive()
+        # Echo back to the address carried in the payload.
+        reply_to = d.payload
+        sp = server_ctx.startpoint(reply_to)
+        yield from sp.send(b"pong", nbytes=64)
+
+    def client():
+        while "addr" not in out:
+            yield tb.sim.timeout(1e-3)
+        ep = yield from client_ctx.create_endpoint("reply")
+        sp = client_ctx.startpoint(out["addr"])
+        # Warm up the connection, then measure.
+        yield from sp.send(ep.addr, nbytes=64)
+        t0 = tb.sim.now
+        yield ep.receive()
+        out["one_way"] = (tb.sim.now - t0) / 2  # rough: reply leg only
+
+    tb.sim.process(server())
+    p = tb.sim.process(client())
+    tb.sim.run(until=p)
+    return out["one_way"], tb.rwcp_firewall.exposure()
+
+
+def run_ablation():
+    return {mode: measure(mode) for mode in ("proxy", "port-range")}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_ablation()
+
+
+def test_ablation_regeneration(benchmark):
+    res = once(benchmark, run_ablation)
+    t = Table(
+        ["mode", "reply latency", "inbound exposure (ports)"],
+        title="Ablation: Nexus Proxy vs Globus 1.1 port range",
+    )
+    for mode, (lat, exposure) in res.items():
+        t.add_row([mode, f"{lat * 1e3:.1f} msec", exposure])
+    print()
+    print(t.render())
+
+
+def test_proxy_minimizes_exposure(results):
+    proxy_lat, proxy_exp = results["proxy"]
+    range_lat, range_exp = results["port-range"]
+    assert proxy_exp == 1  # the nxport, pinned
+    assert range_exp == 1 + (PORT_MAX - PORT_MIN + 1)  # nxport + range
+
+
+def test_port_range_is_faster_but_open(results):
+    """The trade the paper takes: the proxy pays latency for the
+    deny-based posture."""
+    proxy_lat, _ = results["proxy"]
+    range_lat, _ = results["port-range"]
+    assert range_lat < proxy_lat / 2

@@ -1,0 +1,77 @@
+"""Table 2 — communication latency and bandwidth, direct vs. proxied.
+
+Regenerates all four rows on the simulated testbed and asserts the
+paper's qualitative claims:
+
+* proxied latency is tens of milliseconds on both paths — "the
+  communication latency through the Nexus Proxy is approximately six
+  times larger" on the WAN, ~60x on the LAN;
+* proxied bandwidth on the fast LAN drops by an order of magnitude;
+* for large messages on the WAN "the overhead of the Nexus Proxy can
+  be negligible".
+"""
+
+import pytest
+
+from conftest import once
+from repro.bench.table2 import PAPER_TABLE2, render_table2, run_table2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table2()
+
+
+def test_table2_regeneration(benchmark, capsys=None):
+    rows = once(benchmark, run_table2)
+    print()
+    print(render_table2(rows))
+    assert len(rows) == 4
+
+
+def test_lan_direct_matches_paper_cells(rows):
+    lan_direct = rows[0]
+    paper_lat, paper_4k, paper_1mb = PAPER_TABLE2[lan_direct.label]
+    assert lan_direct.latency == pytest.approx(paper_lat, rel=0.25)
+    assert lan_direct.bandwidth_4k == pytest.approx(paper_4k, rel=0.25)
+    assert lan_direct.bandwidth_1mb == pytest.approx(paper_1mb, rel=0.25)
+
+
+def test_wan_direct_latency_matches_paper(rows):
+    wan_direct = rows[2]
+    assert wan_direct.latency == pytest.approx(3.9e-3, rel=0.1)
+
+
+def test_proxied_latency_is_about_25ms_on_both_paths(rows):
+    lan_indirect, wan_indirect = rows[1], rows[3]
+    assert lan_indirect.latency == pytest.approx(25.0e-3, rel=0.2)
+    assert wan_indirect.latency == pytest.approx(25.1e-3, rel=0.25)
+
+
+def test_lan_latency_blowup_is_about_60x(rows):
+    ratio = rows[1].latency / rows[0].latency
+    assert 30 < ratio < 120  # paper: "60 times larger"
+
+
+def test_wan_latency_blowup_is_about_6x(rows):
+    ratio = rows[3].latency / rows[2].latency
+    assert 4 < ratio < 10  # paper: "approximately six times larger"
+
+
+def test_lan_bandwidth_drop_order_of_magnitude(rows):
+    direct, indirect = rows[0], rows[1]
+    assert direct.bandwidth_4k / indirect.bandwidth_4k > 10
+    assert direct.bandwidth_1mb / indirect.bandwidth_1mb > 10
+
+
+def test_wan_large_message_overhead_negligible(rows):
+    """'As message size increases however, the bandwidth when utilizing
+    the Nexus Proxy is close to the bandwidth of the direct
+    communication.'"""
+    direct, indirect = rows[2], rows[3]
+    assert indirect.bandwidth_1mb == pytest.approx(direct.bandwidth_1mb, rel=0.05)
+
+
+def test_bandwidth_grows_with_message_size(rows):
+    for row in rows:
+        assert row.bandwidth_1mb > row.bandwidth_4k

@@ -1,0 +1,48 @@
+"""Table 5 — number of steals (master total; per-site max/min/avg).
+
+Claims checked: "slaves frequently send a steal request to the master"
+(hundreds+ of requests), and the request counts are balanced within a
+site (max/min spread small) — the mechanism behind the paper's "good
+load balance" conclusion.
+"""
+
+import pytest
+
+from conftest import once
+from repro.bench.table56 import TABLE56_SYSTEMS, render_table5
+
+
+def test_table5_regeneration(benchmark, table4_results):
+    results = once(benchmark, lambda: table4_results)
+    print()
+    print(render_table5(results))
+
+
+def test_slaves_steal_frequently(table4_results):
+    for _, run_label in TABLE56_SYSTEMS:
+        run = table4_results.runs[run_label]
+        assert run.total_steals > 100, run_label
+
+
+def test_master_serves_most_requests(table4_results):
+    """Requests parked without work are a small fraction."""
+    for _, run_label in TABLE56_SYSTEMS:
+        run = table4_results.runs[run_label]
+        sent = sum(s.steal_requests for s in run.rank_stats if not s.is_master)
+        served = run.total_steals
+        assert served >= sent - (run.nprocs - 1)  # at most one park each
+
+
+def test_steal_counts_balanced_within_site(table4_results):
+    for _, run_label in TABLE56_SYSTEMS:
+        run = table4_results.runs[run_label]
+        for g in run.groups():
+            assert g.steals.minimum > 0, (run_label, g.group)
+            assert g.steals.maximum <= 3 * g.steals.minimum, (run_label, g.group)
+
+
+def test_wide_area_reports_all_three_sites(table4_results):
+    run = table4_results.runs["Wide-area Cluster (use Nexus Proxy)"]
+    assert {g.group for g in run.groups()} == {"RWCP-Sun", "COMPaS", "ETL-O2K"}
+    local = table4_results.runs["Local-area Cluster"]
+    assert {g.group for g in local.groups()} == {"RWCP-Sun", "COMPaS"}

@@ -1,0 +1,64 @@
+"""Table 6 — number of traversed nodes (master; per-site max/min/avg).
+
+Claims checked: "we obtained good load balance" — per-processor node
+counts are proportional to processor speed (RWCP-Sun 1.0 vs COMPaS
+0.55 vs ETL-O2K 0.9), balanced within each site, and conserved in
+total against the analytic tree size.
+"""
+
+import pytest
+
+from conftest import once
+from repro.apps.knapsack import tree_size
+from repro.bench.table56 import TABLE56_SYSTEMS, render_table6
+
+
+def test_table6_regeneration(benchmark, table4_results):
+    results = once(benchmark, lambda: table4_results)
+    print()
+    print(render_table6(results))
+
+
+def test_every_rank_traverses_nodes(table4_results):
+    for _, run_label in TABLE56_SYSTEMS:
+        run = table4_results.runs[run_label]
+        for s in run.rank_stats:
+            assert s.nodes_traversed > 0, (run_label, s.rank)
+
+
+def test_node_counts_balanced_within_site(table4_results):
+    for _, run_label in TABLE56_SYSTEMS:
+        run = table4_results.runs[run_label]
+        for g in run.groups():
+            assert g.nodes.maximum <= 1.5 * g.nodes.minimum, (run_label, g.group)
+
+
+def test_node_share_tracks_cpu_speed(table4_results):
+    """Per-slave throughput ratio COMPaS/RWCP-Sun ≈ 0.55, ETL/RWCP ≈ 0.9."""
+    run = table4_results.runs["Wide-area Cluster (use Nexus Proxy)"]
+    groups = {g.group: g for g in run.groups()}
+    compas_ratio = groups["COMPaS"].nodes.average / groups["RWCP-Sun"].nodes.average
+    etl_ratio = groups["ETL-O2K"].nodes.average / groups["RWCP-Sun"].nodes.average
+    assert compas_ratio == pytest.approx(0.55, rel=0.25)
+    assert etl_ratio == pytest.approx(0.90, rel=0.25)
+
+
+def test_totals_conserved(table4_results):
+    expected = tree_size(table4_results.config.instance())
+    for _, run_label in TABLE56_SYSTEMS:
+        run = table4_results.runs[run_label]
+        total = run.master_stats.nodes_traversed + sum(
+            s.nodes_traversed for s in run.rank_stats if not s.is_master
+        )
+        assert total == expected
+
+
+def test_paper_scale_instance_is_billions():
+    """The paper's Table 6 counts 'in billions'; the 50-item instance
+    family we generate analytically reaches that scale (we *execute*
+    the 20M-node scaled version — the documented substitution)."""
+    from repro.apps.knapsack import paper_instance
+
+    inst = paper_instance()
+    assert inst.n == 50
+    assert tree_size(inst) > 1_000_000_000

@@ -1,0 +1,57 @@
+"""§4.4 tuning — "We varied a stealunit, interval, and backunit and
+took the best combination."
+
+Sweeps a reduced grid on the wide-area cluster and asserts the knobs
+matter: the spread between the best and worst combination is
+substantial, and the best combination engages the send-back
+circulation (the design choice DESIGN.md flags for ablation)."""
+
+import dataclasses
+
+import pytest
+
+from conftest import once
+from repro.apps.knapsack import SchedulingParams, scaled_instance
+from repro.bench.tuning import render_sweep, run_tuning_sweep
+
+INSTANCE = scaled_instance(n=40, target_nodes=2_000_000, seed=3)
+
+GRID = [
+    dataclasses.replace(SchedulingParams(), interval=interval,
+                        stealunit=stealunit, backunit=backunit)
+    for interval in (10, 100)
+    for stealunit in (2, 32)
+    for backunit in (2, 8)
+]
+# Plus the pathological no-send-back point the ablation highlights.
+GRID.append(dataclasses.replace(SchedulingParams(), back_threshold=0))
+
+
+def run_sweep():
+    return run_tuning_sweep(INSTANCE, grid=GRID)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_sweep()
+
+
+def test_tuning_sweep_regeneration(benchmark):
+    pts = once(benchmark, run_sweep)
+    print()
+    print(render_sweep(pts, limit=len(pts)))
+
+
+def test_parameters_matter(points):
+    best, worst = points[0], points[-1]
+    assert worst.execution_time > 1.3 * best.execution_time
+
+
+def test_no_send_back_is_pathological(points):
+    """Without circulation, the endgame serializes on one slave."""
+    no_back = next(p for p in points if p.back_transfers == 0)
+    assert no_back.execution_time > 1.2 * points[0].execution_time
+
+
+def test_best_point_uses_circulation(points):
+    assert points[0].back_transfers > 0

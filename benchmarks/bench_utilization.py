@@ -1,0 +1,58 @@
+"""Ablation — where the proxied wide-area run spends its resources.
+
+Runs the Table 4 wide-area configuration once and audits the testbed:
+the relay daemons must be lightly loaded (the paper's 'negligible
+overhead' implies headroom, not saturation), and the IMNet carries all
+cross-site traffic.
+"""
+
+import pytest
+
+from conftest import once
+from repro.apps.knapsack import SchedulingParams, run_system, scaled_instance
+from repro.bench.utilization import collect_utilization
+from repro.cluster import Testbed
+
+
+def run_and_audit():
+    inst = scaled_instance(n=40, target_nodes=2_000_000, seed=3)
+    tb = Testbed()
+    run = run_system(tb, "Wide-area Cluster", inst,
+                     SchedulingParams(node_cost=100e-6), use_proxy=True)
+    return run, collect_utilization(tb)
+
+
+@pytest.fixture(scope="module")
+def audit():
+    return run_and_audit()
+
+
+def test_utilization_regeneration(benchmark):
+    run, report = once(benchmark, run_and_audit)
+    print()
+    print(report.render())
+
+
+def test_relay_daemons_not_saturated(audit):
+    run, report = audit
+    # Headroom: the mechanism "can be negligible" only while the relay
+    # CPUs are far from full.
+    assert report.host_cpu["outer-server"] < 0.5
+    assert report.host_cpu["inner-server"] < 0.5
+    assert report.host_cpu["outer-server"] > 0.0  # but it did work
+
+
+def test_imnet_carried_cross_site_traffic(audit):
+    run, report = audit
+    util, nbytes = report.links["IMNet"]
+    assert nbytes > 0
+    assert util < 0.9  # the workload is compute-bound, not WAN-bound
+
+
+def test_workers_are_the_busy_hosts(audit):
+    run, report = audit
+    # The knapsack charges compute via host.compute() (dedicated
+    # cores), so execute()-based CPU accounting must show the *relays*
+    # as the only heavy execute() users — and still lightly loaded.
+    heavy = {n for n, u in report.host_cpu.items() if u > 0.5}
+    assert heavy == set()

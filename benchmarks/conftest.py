@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+The Table 4/5/6 targets all consume the same set of knapsack runs;
+they are produced once per session here.  ``--benchmark-only`` runs
+print each regenerated table so the output can be compared against
+the paper (and against EXPERIMENTS.md) by eye.
+"""
+
+import pytest
+
+from repro.bench.table4 import Table4Config, run_table4
+
+
+@pytest.fixture(scope="session")
+def table4_results():
+    """The full Table 4/5/6 run set (sequential + five systems)."""
+    return run_table4(Table4Config())
+
+
+def once(benchmark, fn):
+    """Run a heavy regeneration exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

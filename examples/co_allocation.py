@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""DUROC-style co-allocation: one command, one MPI world, two sites.
+
+How the paper's wide-area runs were actually started: ``globusrun``
+hands a multi-request to DUROC, which submits one GRAM sub-job per
+site and synchronizes startup; MPICH-G exchanges endpoint addresses so
+the ranks can talk.  Here the RWCP sub-job lands behind the deny-based
+firewall (its ranks publish their endpoints through the Nexus Proxy)
+and the ETL sub-job runs in the open — and the four ranks form one
+communicator.
+
+Run:  python examples/co_allocation.py
+"""
+
+from repro.cluster import Testbed
+from repro.mpi.collectives import allreduce, gather
+from repro.nexus import NexusContext
+from repro.rmf import RMFSystem, SubJob, co_allocate, make_mpi_executable
+from repro.rmf.allocator import ResourceAllocator
+from repro.rmf.duroc import RendezvousServer
+from repro.rmf.gatekeeper import Gatekeeper
+from repro.rmf.qsystem import QServer
+
+
+def rank_main(comm):
+    """The co-allocated application: who's here, and a global sum."""
+    names = yield from gather(comm, comm.host.name, root=0)
+    total = yield from allreduce(comm, comm.rank + 1, lambda a, b: a + b)
+    return f"sum={total}" + (f" world={names}" if comm.rank == 0 else "")
+
+
+def main() -> None:
+    tb = Testbed()
+
+    # -- site A: RWCP, behind the firewall, fronted by RMF ---------------
+    rmf_rwcp = RMFSystem(tb.outer_host, tb.inner_host)
+    rmf_rwcp.add_resource(tb.rwcp_sun, name="RWCP-Sun", cpus=4)
+    rmf_rwcp.start()
+
+    # -- site B: ETL, open, its own gatekeeper + Q server ------------------
+    alloc_etl = ResourceAllocator(tb.etl_sun, port=7301).start()
+    gk_etl = Gatekeeper(tb.etl_sun, alloc_etl.addr, port=2120).start()
+    qs_etl = QServer(tb.etl_o2k, resource_name="ETL-O2K", cpus=8).start()
+    alloc_etl.add_resource("ETL-O2K", tb.etl_o2k.name, qs_etl.port, cpus=8)
+
+    # -- the co-allocation service -------------------------------------------
+    rendezvous = RendezvousServer(tb.outer_host).start()
+    proxied = tb.proxy_addrs
+    rmf_rwcp.registry.register(
+        "mpi-app",
+        make_mpi_executable(
+            rank_main, rendezvous.addr,
+            context_factory=lambda h: NexusContext(h, **proxied),
+        ),
+    )
+    qs_etl.registry.register("mpi-app", make_mpi_executable(rank_main, rendezvous.addr))
+
+    print("submitting one multi-request: 2 ranks at RWCP (firewalled) + "
+          "2 ranks at ETL ...\n")
+
+    def client():
+        replies = yield from co_allocate(
+            tb.etl_sun,
+            [
+                SubJob(rmf_rwcp.gatekeeper.addr,
+                       "&(executable=mpi-app)(count=2)(arguments=demo 4 0)"
+                       "(resource=RWCP-Sun)"),
+                SubJob(gk_etl.addr,
+                       "&(executable=mpi-app)(count=2)(arguments=demo 4 2)"
+                       "(resource=ETL-O2K)"),
+            ],
+        )
+        return replies
+
+    proc = tb.sim.process(client())
+    replies = tb.sim.run(until=proc)
+
+    for reply, site in zip(replies, ("RWCP", "ETL")):
+        print(f"--- sub-job at {site} (ok={reply.all_succeeded}) ---")
+        print(reply.stdout.strip())
+    print(f"\nrendezvous barriers completed: {rendezvous.jobs_completed}")
+    print(f"relay frames carried for the firewalled ranks: "
+          f"outer={tb.outer_server.stats.frames_relayed}, "
+          f"inner={tb.inner_server.stats.frames_relayed}")
+    print(f"firewall still deny-based: "
+          f"{not tb.net.can_connect('etl-o2k', 'rwcp-sun', 7200)}")
+
+
+if __name__ == "__main__":
+    main()

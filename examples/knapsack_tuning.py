@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The §4.4 tuning methodology: sweep (interval, stealunit, backunit)
+on the wide-area cluster and take the best combination.
+
+Also demonstrates the two failure modes the scheduler avoids (they
+appear at the bottom of the sweep): no send-back circulation (endgame
+serializes on one slave) and an over-chatty configuration.
+
+Run:  python examples/knapsack_tuning.py        (~1 minute)
+"""
+
+import dataclasses
+
+from repro.apps.knapsack import SchedulingParams, scaled_instance, tree_size
+from repro.bench.tuning import render_sweep, run_tuning_sweep
+
+
+def main() -> None:
+    instance = scaled_instance(n=40, target_nodes=2_000_000, seed=3)
+    print(f"instance: {instance.n} items, "
+          f"{tree_size(instance):,}-node search tree")
+    base = SchedulingParams()
+    grid = [
+        dataclasses.replace(base, interval=interval, stealunit=stealunit,
+                            backunit=backunit)
+        for interval in (10, 25, 100)
+        for stealunit in (2, 8, 32)
+        for backunit in (2, 8)
+    ]
+    # The ablation point: disable send-back entirely.
+    grid.append(dataclasses.replace(base, back_threshold=0))
+
+    print(f"sweeping {len(grid)} combinations on the Wide-area Cluster...\n")
+    points = run_tuning_sweep(instance, grid=grid)
+    print(render_sweep(points, limit=len(points)))
+
+    best, worst = points[0], points[-1]
+    print(f"\nbest combination:  {best.describe()}  "
+          f"-> {best.execution_time:.1f}s")
+    print(f"worst combination: {worst.describe()}  "
+          f"-> {worst.execution_time:.1f}s "
+          f"({worst.execution_time / best.execution_time:.1f}x slower)")
+    no_back = next((p for p in points if p.back_transfers == 0), None)
+    if no_back is not None:
+        print(f"without send-back: {no_back.execution_time:.1f}s — "
+              "the endgame serializes on whichever slave holds the last "
+              "big subtree")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""The live Nexus Proxy on real sockets (Figures 3 and 4).
+
+Starts the outer and inner relay daemons in-process on loopback,
+emulates the deny-based firewall with an address-policy dialer, and
+demonstrates both connection mechanisms:
+
+* **active open** (Fig. 3): a client "inside" reaches an echo server
+  "outside" through the outer server;
+* **passive open** (Fig. 4): a process "inside" publishes a listening
+  endpoint on the outer server with ``NXProxyBind``; an outside peer
+  connects to the public address and is chained back in through the
+  inner server.
+
+Run:  python examples/real_relay_echo.py
+
+(The same daemons are installable as ``repro-outer-server`` /
+``repro-inner-server`` for an actual two-machine deployment.)
+"""
+
+import asyncio
+
+from repro.core.aio import (
+    AioInnerServer,
+    AioOuterServer,
+    AioProxyClient,
+    GuardedDialer,
+)
+from repro.simnet.firewall import Firewall, FirewallBlocked
+
+
+async def start_outside_echo() -> tuple[asyncio.AbstractServer, int]:
+    async def echo(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        while data := await reader.read(4096):
+            writer.write(data)
+            await writer.drain()
+        writer.close()
+
+    server = await asyncio.start_server(echo, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+async def main() -> None:
+    # -- deployment -----------------------------------------------------
+    outer = await AioOuterServer().start()
+    inner = await AioInnerServer().start()
+    print(f"outer server: 127.0.0.1:{outer.control_port} (control)")
+    print(f"inner server: 127.0.0.1:{inner.nxport} (nxport)")
+
+    echo_server, echo_port = await start_outside_echo()
+    print(f"echo server (outside): 127.0.0.1:{echo_port}")
+
+    # -- the emulated deny-based firewall --------------------------------
+    firewall = Firewall.typical(name="rwcp", reject=True)
+    dialer = GuardedDialer(
+        site_of={"pa": "rwcp", "inner": "rwcp"},  # everything else: outside
+        firewalls={"rwcp": firewall},
+        resolve={"echo": ("127.0.0.1", echo_port)},
+    )
+    print("\n--- the problem: outside cannot dial in ---")
+    try:
+        await dialer.open_connection("echo", "pa", host="127.0.0.1", port=1)
+    except FirewallBlocked as exc:
+        print(f"blocked as expected: {exc}")
+
+    client = AioProxyClient(
+        outer_addr=("127.0.0.1", outer.control_port),
+        inner_addr=("127.0.0.1", inner.nxport),
+    )
+
+    # -- Fig. 3: active open -------------------------------------------------
+    print("\n--- Fig. 3: NXProxyConnect (active open, one relay) ---")
+    reader, writer = await client.connect("127.0.0.1", echo_port)
+    writer.write(b"hello through the outer server")
+    await writer.drain()
+    print("echoed:", await reader.readexactly(30))
+    writer.close()
+
+    # -- Fig. 4: passive open ---------------------------------------------------
+    print("\n--- Fig. 4: NXProxyBind/Accept (passive open, two relays) ---")
+    listener = await client.bind()
+    host, port = listener.proxy_addr
+    print(f"published on the outer server: {host}:{port} "
+          f"(private socket: {listener.local_addr})")
+
+    async def outside_peer() -> bytes:
+        r, w = await asyncio.open_connection(host, port)
+        w.write(b"knock knock from outside")
+        await w.drain()
+        reply = await r.readexactly(7)
+        w.close()
+        return reply
+
+    peer_task = asyncio.create_task(outside_peer())
+    chained_reader, chained_writer = await listener.accept(timeout=10)
+    data = await chained_reader.readexactly(24)
+    print(f"inside received: {data!r}")
+    chained_writer.write(b"come in")
+    await chained_writer.drain()
+    print(f"outside received: {await peer_task!r}")
+
+    # -- teardown --------------------------------------------------------------
+    await listener.close()
+    echo_server.close()
+    await outer.stop()
+    await inner.stop()
+    print(
+        f"\nrelay stats: outer moved {outer.stats.bytes_relayed} bytes in "
+        f"{outer.stats.chunks_relayed} chunks "
+        f"({outer.stats.active_connects} active connects, "
+        f"{outer.stats.passive_chains} passive chains); "
+        f"inner moved {inner.stats.bytes_relayed} bytes"
+    )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

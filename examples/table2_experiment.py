@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Regenerate Table 2 (latency/bandwidth, direct vs. proxied) and
+compare the simulation against the analytic chain model.
+
+Run:  python examples/table2_experiment.py
+"""
+
+from repro.bench.calibrate import table2_chain_models
+from repro.bench.table2 import render_table2, run_table2
+from repro.util.tables import Table
+from repro.util.units import MIB_MESSAGE, SMALL_MESSAGE, fmt_rate, fmt_time
+
+
+def main() -> None:
+    print("Measuring (four fresh testbeds, ping-pong at 16B/4KB/1MB)...\n")
+    rows = run_table2()
+    print(render_table2(rows))
+
+    print("\nAnalytic cross-check (closed-form pipeline model):\n")
+    models = table2_chain_models()
+    t = Table(["row", "sim latency", "model", "sim bw 1MB", "model"])
+    for row in rows:
+        model = models[row.label]
+        t.add_row(
+            [
+                row.label,
+                fmt_time(row.latency),
+                fmt_time(model.ping_pong_latency()),
+                fmt_rate(row.bandwidth_1mb),
+                fmt_rate(model.bandwidth(MIB_MESSAGE)),
+            ]
+        )
+    print(t.render())
+
+    lan_direct, lan_indirect, wan_direct, wan_indirect = rows
+    print("\nThe paper's claims, checked:")
+    print(f"  LAN latency blow-up through the proxy: "
+          f"{lan_indirect.latency / lan_direct.latency:.0f}x   (paper: ~60x)")
+    print(f"  WAN latency blow-up through the proxy: "
+          f"{wan_indirect.latency / wan_direct.latency:.1f}x   (paper: ~6x)")
+    print(f"  LAN bandwidth drop at 1MB: "
+          f"{lan_direct.bandwidth_1mb / lan_indirect.bandwidth_1mb:.0f}x   "
+          f"(paper: 'order of magnitude')")
+    print(f"  WAN 1MB proxied vs direct: "
+          f"{wan_indirect.bandwidth_1mb / wan_direct.bandwidth_1mb * 100:.1f}%   "
+          f"(paper: 'overhead ... can be negligible')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy shim: metadata lives in pyproject.toml.
+
+Present so that ``pip install -e .`` works in offline environments
+without the ``wheel`` package (falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

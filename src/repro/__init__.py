@@ -1,0 +1,29 @@
+"""repro — firewall-compliant Globus-based wide-area cluster system.
+
+A full reproduction of Tanaka et al., *"Performance Evaluation of a
+Firewall-compliant Globus-based Wide-area Cluster System"* (HPDC 2000):
+
+* :mod:`repro.core` — the **Nexus Proxy**: a TCP relay with an outer
+  server outside the firewall and an inner server inside, plus the
+  ``NXProxyConnect`` / ``NXProxyBind`` / ``NXProxyAccept`` client
+  library (both a simulated and a real asyncio implementation).
+* :mod:`repro.rmf` — **RMF**, the Resource Manager beyond the
+  Firewall: gatekeeper, job manager, Q system, resource allocator and
+  GASS-style file staging.
+* :mod:`repro.simnet` — a deterministic discrete-event wide-area
+  network simulator (hosts, links, firewalls, TCP-like sockets).
+* :mod:`repro.nexus` — a Nexus-like communication library,
+  :mod:`repro.mpi` — an MPICH-G-like messaging layer on top of it.
+* :mod:`repro.cluster` — the paper's experimental testbed (Fig. 5)
+  and cluster systems (Table 3).
+* :mod:`repro.apps.knapsack` — the parallel 0-1 knapsack
+  branch-and-bound benchmark with self-scheduling work stealing.
+* :mod:`repro.bench` — harness regenerating every table and figure.
+
+See README.md for a quickstart and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

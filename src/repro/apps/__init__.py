@@ -1,0 +1,1 @@
+"""Benchmark applications built on the library's public API."""

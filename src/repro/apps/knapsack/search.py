@@ -1,0 +1,183 @@
+"""The branch operation and the search stack (§4.3).
+
+"Each node of a search tree is represented by a set of (index, value,
+capacity). ... The search tree is represented by a stack onto which
+nodes are pushed in a search procedure."
+
+Nodes are plain tuples ``(index, value, capacity)`` — this is the
+innermost loop of every experiment, so it is written for CPython speed
+(local-variable caching, no attribute lookups, no allocation beyond
+the stack itself), per the profiling-first guidance this repo follows.
+
+The branch operation (verbatim from the paper):
+
+1. pop a node from a stack
+2. check the node
+3. if the node has sub nodes, push them (one or two sub nodes) onto
+   the stack
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.knapsack.instance import KnapsackInstance
+
+__all__ = ["SearchState", "Node", "root_node"]
+
+#: A search-tree node: (index, value, capacity).
+Node = tuple[int, int, int]
+
+
+def root_node(instance: KnapsackInstance) -> Node:
+    """index=0 (no item fixed), value=0, full capacity."""
+    return (0, 0, instance.capacity)
+
+
+class SearchState:
+    """One process's stack plus its traversal counters.
+
+    ``prune=True`` adds the greedy fractional upper bound
+    (Martello–Toth U1 on ratio-sorted items); the paper's runs use
+    ``prune=False`` ("no branches were pruned").
+    """
+
+    __slots__ = (
+        "instance",
+        "stack",
+        "best_value",
+        "nodes_traversed",
+        "prune",
+        "_profits",
+        "_weights",
+        "_n",
+        "_wprefix",
+        "_pprefix",
+    )
+
+    def __init__(self, instance: KnapsackInstance, prune: bool = False) -> None:
+        self.instance = instance
+        self.stack: list[Node] = []
+        self.best_value = 0
+        self.nodes_traversed = 0
+        self.prune = prune
+        self._profits = list(instance.profits)
+        self._weights = list(instance.weights)
+        self._n = instance.n
+        if prune:
+            # Prefix sums for the fractional bound.
+            wp = [0]
+            pp = [0]
+            for w, p in zip(self._weights, self._profits):
+                wp.append(wp[-1] + w)
+                pp.append(pp[-1] + p)
+            self._wprefix = wp
+            self._pprefix = pp
+        else:
+            self._wprefix = self._pprefix = None  # type: ignore[assignment]
+
+    # -- stack management (work stealing operates here) ------------------
+
+    def push_root(self) -> None:
+        self.stack.append(root_node(self.instance))
+
+    def push_nodes(self, nodes: "list[Node]") -> None:
+        self.stack.extend(nodes)
+
+    def take_from_top(self, count: int) -> "list[Node]":
+        """Remove up to ``count`` nodes from the *top* of the stack.
+
+        "The master sends stealunit nodes on top of its stack."  In a
+        DFS stack the top holds the most recently pushed (deepest)
+        nodes — small subtrees, so stealing is fine-grained: many
+        steal messages, good balance (the Table 5/6 trade-off).
+        """
+        if count <= 0:
+            return []
+        taken = self.stack[-count:]
+        del self.stack[-count:]
+        return taken
+
+    def take_from_bottom(self, count: int) -> "list[Node]":
+        """Remove up to ``count`` nodes from the *bottom* of the stack.
+
+        Bottom nodes are the shallowest pending siblings — the largest
+        subtrees the owner won't reach for a long time.  Used for
+        send-back (returning big work to the master for
+        redistribution) and available as an alternative steal end for
+        the grain ablation.
+        """
+        if count <= 0:
+            return []
+        taken = self.stack[:count]
+        del self.stack[:count]
+        return taken
+
+    @property
+    def depth(self) -> int:
+        return len(self.stack)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.stack
+
+    # -- the branch operation -----------------------------------------------
+
+    def upper_bound(self, index: int, value: int, capacity: int) -> float:
+        """Greedy fractional bound for the subtree at this node."""
+        wp, pp = self._wprefix, self._pprefix
+        assert wp is not None and pp is not None
+        base_w = wp[index]
+        limit = base_w + capacity
+        # Largest j >= index with prefix weight <= limit: linear scan is
+        # fine (items are few); bisect would also work.
+        j = index
+        n = self._n
+        while j < n and wp[j + 1] <= limit:
+            j += 1
+        bound = value + (pp[j] - pp[index])
+        if j < n:
+            residual = limit - wp[j]
+            bound += self._profits[j] * residual / self._weights[j]
+        return bound
+
+    def branch(self, max_ops: int) -> int:
+        """Run up to ``max_ops`` branch operations ("the master repeats
+        the branch operation *interval* times"); returns ops done.
+
+        Stops early when the stack empties.
+        """
+        stack = self.stack
+        profits = self._profits
+        weights = self._weights
+        n = self._n
+        best = self.best_value
+        prune = self.prune
+        ops = 0
+        while stack and ops < max_ops:
+            index, value, capacity = stack.pop()
+            ops += 1
+            if value > best:
+                best = value
+            if index == n:
+                continue
+            if prune and self.upper_bound(index, value, capacity) <= best:
+                continue
+            stack.append((index + 1, value, capacity))
+            w = weights[index]
+            if w <= capacity:
+                stack.append((index + 1, value + profits[index], capacity - w))
+        self.best_value = best
+        self.nodes_traversed += ops
+        return ops
+
+    def run_to_exhaustion(self) -> None:
+        """Branch until the stack empties (the sequential solver core)."""
+        while self.stack:
+            self.branch(1 << 30)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SearchState depth={self.depth} traversed={self.nodes_traversed} "
+            f"best={self.best_value}>"
+        )

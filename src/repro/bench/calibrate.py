@@ -1,0 +1,110 @@
+"""Analytic calibration: closed-form Table 2 predictions.
+
+Builds :class:`~repro.core.chain.ChainModel`\\ s for the four Table 2
+rows from the testbed parameters and relay config.  Used two ways:
+
+* to *choose* the calibration constants (link latencies/bandwidths,
+  relay per-chunk CPU and delay) so the simulated Table 2 matches the
+  paper's published cells, and
+* as an independent cross-check: the simulation must agree with the
+  closed form (property-tested), so a calibration bug can't hide in
+  simulator details.
+
+Chain structure per row (one-way, the direction measured):
+
+* LAN direct:    sun → lan → compas (2 LAN hops)
+* LAN indirect:  sun → lan → gw → **outer** → gw → lan → inner →
+                 lan → compas (two relay traversals — both endpoints
+                 are behind the firewall, so the link is a passive
+                 chain through outer *and* inner)
+* WAN direct:    sun → lan → gw → (IMNet) → etl-gw → etl-lan → etl-sun
+* WAN indirect:  the same, detouring through both relays on the RWCP
+                 side of the IMNet
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import CATALOGUE
+from repro.cluster.testbed import TestbedParams
+from repro.core.chain import ChainModel, RelayStage, WireLeg
+from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
+from repro.core.frames import FRAME_HEADER_BYTES
+from repro.simnet.socket import NetConfig
+
+__all__ = ["table2_chain_models", "endpoint_overhead"]
+
+
+def endpoint_overhead(cfg: NetConfig) -> float:
+    """Per-message endpoint CPU on the measured path (send + recv)."""
+    return cfg.send_overhead + cfg.per_segment_cpu + cfg.recv_overhead
+
+
+def _relay(config: RelayConfig, cpu_speed: float) -> RelayStage:
+    return RelayStage(
+        per_chunk_cpu=config.per_chunk_cpu,
+        per_byte_cpu=config.per_byte_cpu,
+        cpu_speed=cpu_speed,
+        delay=config.per_chunk_delay,
+    )
+
+
+def table2_chain_models(
+    params: TestbedParams = TestbedParams(),
+    relay: RelayConfig = DEFAULT_RELAY_CONFIG,
+    net: NetConfig = NetConfig(),
+) -> dict[str, ChainModel]:
+    """The four Table 2 rows as analytic chain models."""
+    outer_speed = CATALOGUE["Outer-Server"].cpu_speed
+    inner_speed = CATALOGUE["Inner-Server"].cpu_speed
+    oh = endpoint_overhead(net)
+    lan = params.lan_latency
+    lbw = params.lan_bandwidth
+
+    rows: dict[str, ChainModel] = {}
+    rows["RWCP-Sun <-> COMPaS (direct)"] = ChainModel(
+        stages=[WireLeg(latency=2 * lan, bandwidth=lbw, nlinks=2)],
+        chunk_bytes=relay.chunk_bytes,
+        endpoint_overhead=oh,
+        header_bytes=FRAME_HEADER_BYTES,
+    )
+    rows["RWCP-Sun <-> COMPaS (indirect)"] = ChainModel(
+        stages=[
+            # sun -> lan -> gw -> outer
+            WireLeg(latency=2 * lan + params.dmz_latency, bandwidth=lbw, nlinks=3),
+            _relay(relay, outer_speed),
+            # outer -> gw -> lan -> inner
+            WireLeg(latency=params.dmz_latency + 2 * lan, bandwidth=lbw, nlinks=3),
+            _relay(relay, inner_speed),
+            # inner -> lan -> compas
+            WireLeg(latency=2 * lan, bandwidth=lbw, nlinks=2),
+        ],
+        chunk_bytes=relay.chunk_bytes,
+        endpoint_overhead=oh,
+        header_bytes=FRAME_HEADER_BYTES,
+    )
+    rows["RWCP-Sun <-> ETL-Sun (direct)"] = ChainModel(
+        stages=[
+            WireLeg(latency=2 * lan + params.dmz_latency, bandwidth=lbw, nlinks=3),
+            WireLeg(latency=params.wan_latency, bandwidth=params.wan_bandwidth),
+            WireLeg(latency=2 * lan, bandwidth=lbw, nlinks=2),
+        ],
+        chunk_bytes=relay.chunk_bytes,
+        endpoint_overhead=oh,
+        header_bytes=FRAME_HEADER_BYTES,
+    )
+    rows["RWCP-Sun <-> ETL-Sun (indirect)"] = ChainModel(
+        stages=[
+            WireLeg(latency=2 * lan + params.dmz_latency, bandwidth=lbw, nlinks=3),
+            _relay(relay, outer_speed),
+            WireLeg(latency=params.dmz_latency + 2 * lan, bandwidth=lbw, nlinks=3),
+            _relay(relay, inner_speed),
+            # back out through the gateway and across the IMNet
+            WireLeg(latency=2 * lan + params.dmz_latency, bandwidth=lbw, nlinks=3),
+            WireLeg(latency=params.wan_latency, bandwidth=params.wan_bandwidth),
+            WireLeg(latency=2 * lan, bandwidth=lbw, nlinks=2),
+        ],
+        chunk_bytes=relay.chunk_bytes,
+        endpoint_overhead=oh,
+        header_bytes=FRAME_HEADER_BYTES,
+    )
+    return rows

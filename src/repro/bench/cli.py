@@ -1,0 +1,99 @@
+"""``repro-bench``: regenerate any table or figure from the command line.
+
+::
+
+    repro-bench table2
+    repro-bench table4 --target-nodes 2000000   # quicker, noisier
+    repro-bench table5 table6
+    repro-bench tuning --points 9
+    repro-bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main"]
+
+TARGETS = ["table2", "table3", "table4", "table5", "table6", "tuning", "all"]
+
+
+def _print_table3() -> None:
+    from repro.cluster.systems import SYSTEMS
+    from repro.util.tables import Table
+
+    t = Table(["Nickname", "Description"], title="Table 3. Experimental Testbed")
+    for spec in SYSTEMS.values():
+        t.add_row([spec.name, spec.description])
+    print(t.render())
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables on the simulated testbed",
+    )
+    parser.add_argument("targets", nargs="+", choices=TARGETS)
+    parser.add_argument(
+        "--target-nodes", type=int, default=20_000_000,
+        help="search-tree size for the knapsack runs (default 20M)",
+    )
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument(
+        "--points", type=int, default=27,
+        help="tuning-sweep grid points to evaluate (max 27)",
+    )
+    args = parser.parse_args(argv)
+    targets = set(args.targets)
+    if "all" in targets:
+        targets = set(TARGETS) - {"all"}
+
+    t_start = time.time()
+    if "table2" in targets:
+        from repro.bench.table2 import render_table2, run_table2
+
+        print(render_table2(run_table2()))
+        print()
+    if "table3" in targets:
+        _print_table3()
+        print()
+
+    table4_results = None
+    if targets & {"table4", "table5", "table6"}:
+        from repro.bench.table4 import Table4Config, render_table4, run_table4
+
+        config = Table4Config(target_nodes=args.target_nodes, seed=args.seed)
+        table4_results = run_table4(config)
+    if "table4" in targets:
+        from repro.bench.table4 import render_table4
+
+        print(render_table4(table4_results))
+        print()
+    if "table5" in targets:
+        from repro.bench.table56 import render_table5
+
+        print(render_table5(table4_results))
+        print()
+    if "table6" in targets:
+        from repro.bench.table56 import render_table6
+
+        print(render_table6(table4_results))
+        print()
+    if "tuning" in targets:
+        from repro.apps.knapsack.instance import scaled_instance
+        from repro.bench.tuning import default_grid, render_sweep, run_tuning_sweep
+        from repro.apps.knapsack.master_slave import SchedulingParams
+
+        instance = scaled_instance(n=40, target_nodes=2_000_000, seed=args.seed)
+        grid = default_grid(SchedulingParams())[: args.points]
+        print(render_sweep(run_tuning_sweep(instance, grid=grid)))
+        print()
+
+    print(f"[repro-bench] done in {time.time() - t_start:.1f}s wall", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Tables 5 and 6: steal counts and traversed nodes.
+
+Both derive from the same runs as Table 4 (the paper reports them for
+the Local-area and Wide-area clusters).  Layout mirrors the paper:
+
+* Table 5 — the master's total handled steals, then per-site
+  max/min/average of the slaves' steal requests;
+* Table 6 — traversed nodes, master then per-site max/min/average
+  (the paper prints these "in billions"; ours are in millions, the
+  scale substitution recorded in DESIGN.md, so the unit is printed).
+"""
+
+from __future__ import annotations
+
+from repro.apps.knapsack.driver import RunResult
+from repro.bench.table4 import Table4Results
+from repro.util.tables import Table
+
+__all__ = ["render_table5", "render_table6", "TABLE56_SYSTEMS"]
+
+#: The systems the paper reports in Tables 5/6.
+TABLE56_SYSTEMS = [
+    ("Local-area Cluster", "Local-area Cluster"),
+    ("Wide-area Cluster", "Wide-area Cluster (use Nexus Proxy)"),
+]
+
+
+def _headers(metric: str) -> list[str]:
+    cols = ["System", "Master"]
+    for site in ("RWCP-Sun", "COMPaS", "ETL-O2K"):
+        cols += [f"{site} Max", "Min", "Avg"]
+    return cols
+
+
+def _rows(results: Table4Results, metric: str, scale: float, fmt: str):
+    for paper_name, run_label in TABLE56_SYSTEMS:
+        run: RunResult = results.runs[run_label]
+        master = run.master_stats
+        master_value = (
+            master.steal_requests if metric == "steals" else master.nodes_traversed
+        )
+        cells: list[str] = [paper_name, fmt.format(master_value / scale)]
+        groups = {g.group: g for g in run.groups()}
+        for site in ("RWCP-Sun", "COMPaS", "ETL-O2K"):
+            g = groups.get(site)
+            if g is None:
+                cells += ["-", "-", "-"]
+            else:
+                summary = g.steals if metric == "steals" else g.nodes
+                cells += summary.as_row(scale=scale, fmt=fmt)
+        yield cells
+
+
+def render_table5(results: Table4Results) -> str:
+    t = Table(_headers("steals"), title="Table 5. Number of steals")
+    for cells in _rows(results, "steals", scale=1.0, fmt="{:.0f}"):
+        t.add_row(cells)
+    return t.render()
+
+
+def render_table6(results: Table4Results) -> str:
+    t = Table(
+        _headers("nodes"),
+        title="Table 6. Number of traversed nodes (in millions; "
+        "paper: in billions)",
+    )
+    for cells in _rows(results, "nodes", scale=1e6, fmt="{:.2f}"):
+        t.add_row(cells)
+    return t.render()

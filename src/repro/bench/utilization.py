@@ -1,0 +1,67 @@
+"""Resource-utilization reporting for simulated runs.
+
+Answers the capacity-planning questions the paper's deployment would
+have faced: how busy are the relay daemons during a wide-area run, and
+how loaded is the IMNet?  Built from the simulator's first-class
+counters (link busy time, per-host ``execute`` accounting), so any
+experiment can be audited after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.testbed import Testbed
+from repro.util.tables import Table
+
+__all__ = ["UtilizationReport", "collect_utilization"]
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Snapshot of a testbed after a run."""
+
+    elapsed: float
+    #: host name → fraction of core-time spent in execute().
+    host_cpu: dict[str, float]
+    #: link name → (utilization, bytes carried) for the busiest
+    #: direction of each duplex link.
+    links: dict[str, tuple[float, int]]
+    outer_frames: int
+    inner_frames: int
+
+    def render(self) -> str:
+        t = Table(["resource", "utilization", "volume"],
+                  title="Utilization report")
+        for name, util in sorted(self.host_cpu.items()):
+            if util > 0:
+                t.add_row([f"cpu:{name}", f"{util * 100:5.1f}%", ""])
+        for name, (util, nbytes) in sorted(self.links.items()):
+            if nbytes > 0:
+                t.add_row([f"link:{name}", f"{util * 100:5.1f}%",
+                           f"{nbytes / 1e6:.1f} MB"])
+        t.add_row(["relay frames (outer/inner)", "",
+                   f"{self.outer_frames} / {self.inner_frames}"])
+        return t.render()
+
+
+def collect_utilization(tb: Testbed) -> UtilizationReport:
+    """Read the counters off a testbed after driving its simulator."""
+    host_cpu = {
+        name: host.cpu_utilization() for name, host in tb.net.hosts.items()
+    }
+    links: dict[str, tuple[float, int]] = {}
+    for duplex in tb.net.links():
+        fwd, rev = duplex.forward, duplex.reverse
+        busiest = fwd if fwd.busy_time >= rev.busy_time else rev
+        links[duplex.name] = (
+            busiest.utilization(),
+            fwd.bytes_sent + rev.bytes_sent,
+        )
+    return UtilizationReport(
+        elapsed=tb.sim.now,
+        host_cpu=host_cpu,
+        links=links,
+        outer_frames=tb.outer_server.stats.frames_relayed,
+        inner_frames=tb.inner_server.stats.frames_relayed,
+    )

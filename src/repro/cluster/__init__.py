@@ -1,0 +1,25 @@
+"""The experimental testbed: Figure 5 machines/network and the
+Table 3 cluster systems."""
+
+from repro.cluster.machine import CATALOGUE, COMPAS_NODES, MachineSpec
+from repro.cluster.systems import (
+    SYSTEMS,
+    ClusterSystem,
+    Placement,
+    build_world,
+    system,
+)
+from repro.cluster.testbed import Testbed, TestbedParams
+
+__all__ = [
+    "CATALOGUE",
+    "COMPAS_NODES",
+    "ClusterSystem",
+    "MachineSpec",
+    "Placement",
+    "SYSTEMS",
+    "Testbed",
+    "TestbedParams",
+    "build_world",
+    "system",
+]

@@ -1,0 +1,126 @@
+"""Beyond the paper: every site behind its own deny-based firewall.
+
+The paper's testbed had one firewalled site (RWCP) — ETL's machines
+were reachable.  Its closing ambition, "in order to spread the global
+computing environment over various sites ... a mechanism to handle a
+firewall is needed", implies the general case: *all* sites firewalled,
+each running its own Nexus Proxy pair.  This module builds that world
+and shows the mechanism composes: a connection between two firewalled
+sites chains through the initiator's outer server, then the target
+site's public port, then the target's inner server — three relay
+traversals, no inbound hole beyond each site's own pinned nxport.
+
+Used by ``tests/integration/test_multisite.py`` and
+``examples/two_firewalls.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
+from repro.core.inner import InnerServer
+from repro.core.outer import OuterServer
+from repro.simnet.firewall import Firewall
+from repro.simnet.host import Host
+from repro.simnet.socket import Address, NetConfig
+from repro.simnet.topology import Network, Site
+from repro.util.units import mbps
+
+__all__ = ["ProxiedSite", "DualFirewallTestbed"]
+
+
+@dataclass
+class ProxiedSite:
+    """One firewalled site with its own relay deployment."""
+
+    site: Site
+    firewall: Firewall
+    hosts: list[Host]
+    gateway: Host
+    outer_host: Host
+    inner_host: Host
+    outer_server: OuterServer
+    inner_server: InnerServer
+
+    @property
+    def proxy_addrs(self) -> dict[str, Address]:
+        return {
+            "outer_addr": self.outer_server.control_addr,
+            "inner_addr": self.inner_server.addr,
+        }
+
+
+class DualFirewallTestbed:
+    """Two sites, two firewalls, two Nexus Proxy deployments, one WAN.
+
+    Topology per site ``X``::
+
+        X-host-0..n-1 ─┐
+        X-inner       ─┼─ X-lan ── X-gw ── X-outer ── (WAN)
+
+    Site firewalls are deny-based with a single pinned nxport hole
+    each; the outer servers sit outside their site's filter and face
+    the WAN.
+    """
+
+    __test__ = False
+
+    def __init__(
+        self,
+        hosts_per_site: int = 2,
+        wan_latency: float = 3.22e-3,
+        wan_bandwidth: float = mbps(1.5),
+        lan_latency: float = 0.05e-3,
+        lan_bandwidth: float = 6.9e6,
+        relay_config: RelayConfig = DEFAULT_RELAY_CONFIG,
+        net_config: "NetConfig | None" = None,
+    ) -> None:
+        self.relay_config = relay_config
+        self.net = Network(config=net_config)
+        self.sites: dict[str, ProxiedSite] = {}
+        wan = self.net.add_router("wan")
+        for name in ("alpha", "beta"):
+            ps = self._build_site(
+                name, hosts_per_site, lan_latency, lan_bandwidth
+            )
+            self.net.link(ps.outer_host, wan, wan_latency / 2, wan_bandwidth)
+            self.sites[name] = ps
+
+    def _build_site(
+        self, name: str, nhosts: int, lan_latency: float, lan_bandwidth: float
+    ) -> ProxiedSite:
+        fw = Firewall.typical(name=f"fw:{name}", reject=True)
+        site = self.net.add_site(name, firewall=fw)
+        lan = self.net.add_router(f"{name}-lan", site=site)
+        gw = self.net.add_router(f"{name}-gw", site=site)
+        hosts = [
+            self.net.add_host(f"{name}-host-{i}", site=site, cores=4)
+            for i in range(nhosts)
+        ]
+        inner_host = self.net.add_host(f"{name}-inner", site=site, cores=2)
+        outer_host = self.net.add_host(f"{name}-outer", cores=2)
+        for h in (*hosts, inner_host, gw):
+            self.net.link(h, lan, lan_latency, lan_bandwidth)
+        self.net.link(gw, outer_host, lan_latency, lan_bandwidth)
+
+        outer = OuterServer(outer_host, self.relay_config).start()
+        inner = InnerServer(inner_host, self.relay_config)
+        inner.open_firewall_pinhole(outer_host.name)
+        inner.start()
+        return ProxiedSite(
+            site=site, firewall=fw, hosts=hosts, gateway=gw,
+            outer_host=outer_host, inner_host=inner_host,
+            outer_server=outer, inner_server=inner,
+        )
+
+    @property
+    def sim(self):
+        return self.net.sim
+
+    def site(self, name: str) -> ProxiedSite:
+        return self.sites[name]
+
+    def total_exposure(self) -> int:
+        """Inbound ports open across all firewalls (target: 1 per site)."""
+        return sum(ps.firewall.exposure() for ps in self.sites.values())

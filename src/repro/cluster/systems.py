@@ -1,0 +1,140 @@
+"""Table 3: the four cluster systems the knapsack problem ran on.
+
+==================  ==========================================================
+Nickname            Description (paper's Table 3)
+==================  ==========================================================
+COMPaS              8 processors, 1 processor on each node; mpich ch_p4
+ETL-O2K             8 processors on ETL-O2K; vendor-provided MPI
+Local-area Cluster  RWCP-Sun + COMPaS; 12 processors (4 + 8); MPICH-G
+                    with the Nexus Proxy
+Wide-area Cluster   RWCP-Sun + COMPaS + ETL-O2K; 20 processors (4 + 8 + 8);
+                    MPICH-G with the Nexus Proxy
+==================  ==========================================================
+
+:func:`build_world` turns one of these into an initialized-ready
+:class:`~repro.mpi.world.MPIWorld` on a :class:`~repro.cluster.testbed.Testbed`.
+``use_proxy=False`` reproduces the paper's "Not use Nexus Proxy"
+condition by temporarily opening the RWCP firewall (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.testbed import Testbed
+from repro.mpi.world import MPIWorld
+
+__all__ = ["Placement", "ClusterSystem", "SYSTEMS", "system", "build_world"]
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """``nprocs`` ranks on the named testbed host."""
+
+    host: str
+    nprocs: int
+    #: Whether these ranks sit behind the RWCP firewall (and therefore
+    #: use the Nexus Proxy when the system communicates across it).
+    inside_firewall: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSystem:
+    """One Table 3 row."""
+
+    name: str
+    description: str
+    placements: tuple[Placement, ...]
+    #: Whether this system's MPI device is MPICH-G over the proxy
+    #: (False for the single-site systems: ch_p4 / vendor MPI).
+    globus_device: bool
+
+    @property
+    def nprocs(self) -> int:
+        return sum(p.nprocs for p in self.placements)
+
+
+def _compas_placements(nprocs: int = 8) -> tuple[Placement, ...]:
+    # "8 processors, 1 processor on each node."
+    return tuple(
+        Placement(f"compas-{i}", 1, inside_firewall=True) for i in range(nprocs)
+    )
+
+
+SYSTEMS: dict[str, ClusterSystem] = {
+    "COMPaS": ClusterSystem(
+        name="COMPaS",
+        description="8 processors, 1 processor on each node. "
+        "mpich ch_p4 device is used.",
+        placements=_compas_placements(),
+        globus_device=False,
+    ),
+    "ETL-O2K": ClusterSystem(
+        name="ETL-O2K",
+        description="8 processors on ETL-O2K. vendor provided mpi is used.",
+        placements=(Placement("etl-o2k", 8, inside_firewall=False),),
+        globus_device=False,
+    ),
+    "Local-area Cluster": ClusterSystem(
+        name="Local-area Cluster",
+        description="RWCP-Sun + COMPaS. total 12 processors, 4 on RWCP-Sun, "
+        "and 8 on COMPaS. mpich Globus device which utilize the "
+        "Nexus Proxy is used.",
+        placements=(Placement("rwcp-sun", 4, inside_firewall=True),)
+        + _compas_placements(),
+        globus_device=True,
+    ),
+    "Wide-area Cluster": ClusterSystem(
+        name="Wide-area Cluster",
+        description="RWCP-Sun + COMPaS + ETL-O2K. total 20 processors, "
+        "4 on RWCP-Sun, 8 on COMPaS, and 8 on ETL-O2K. mpich "
+        "Globus device which utilize the Nexus Proxy is used.",
+        placements=(Placement("rwcp-sun", 4, inside_firewall=True),)
+        + _compas_placements()
+        + (Placement("etl-o2k", 8, inside_firewall=False),),
+        globus_device=True,
+    ),
+}
+
+
+def system(name: str) -> ClusterSystem:
+    try:
+        return SYSTEMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; choose from {sorted(SYSTEMS)}"
+        ) from None
+
+
+def build_world(
+    testbed: Testbed,
+    system_name: str,
+    use_proxy: Optional[bool] = None,
+) -> MPIWorld:
+    """Declare one rank per processor of a Table 3 system.
+
+    ``use_proxy`` defaults to the system's MPI device (Globus-device
+    systems use the proxy).  ``use_proxy=False`` on a Globus-device
+    system reproduces the "Not use Nexus Proxy" row of Table 4 —
+    which only works because the experimenters "modified the
+    configuration of the firewall temporarily": this function does the
+    same via :meth:`Testbed.open_firewall_for_direct_runs`.
+    """
+    spec = system(system_name)
+    if use_proxy is None:
+        use_proxy = spec.globus_device
+    if use_proxy and not spec.globus_device:
+        raise ValueError(f"{spec.name} does not use the Globus device")
+    world = MPIWorld(testbed.net, relay_config=testbed.relay_config)
+    needs_cross_site = spec.globus_device
+    if needs_cross_site and not use_proxy:
+        testbed.open_firewall_for_direct_runs()
+    for placement in spec.placements:
+        host = testbed.host(placement.host)
+        for _ in range(placement.nprocs):
+            if use_proxy and placement.inside_firewall:
+                world.add_rank(host, **testbed.proxy_addrs)
+            else:
+                world.add_rank(host)
+    return world

@@ -1,0 +1,30 @@
+"""Real asyncio implementation of the Nexus Proxy.
+
+The same mechanism as :mod:`repro.core`'s simulated servers, on actual
+OS sockets: an outer relay daemon, an inner relay daemon, and a client
+library with the Table 1 calls.  This is the adoptable artifact — a
+firewall-traversing TCP relay that (unlike SOCKS, §3) supports
+*passive* opens: a process behind the firewall can publish a listening
+endpoint on the outer server.
+
+Run the daemons with the installed console scripts::
+
+    repro-outer-server --host 0.0.0.0 --control-port 7000
+    repro-inner-server --host 0.0.0.0 --nxport 7100
+
+or in-process via :class:`AioOuterServer` / :class:`AioInnerServer`
+(see ``examples/real_relay_echo.py``).
+"""
+
+from repro.core.aio.api import AioProxiedListener, AioProxyClient
+from repro.core.aio.firewall import GuardedDialer
+from repro.core.aio.relay import AioInnerServer, AioOuterServer, AioRelayStats
+
+__all__ = [
+    "AioInnerServer",
+    "AioOuterServer",
+    "AioProxiedListener",
+    "AioProxyClient",
+    "AioRelayStats",
+    "GuardedDialer",
+]

@@ -1,0 +1,170 @@
+"""Live client library: Table 1 over real sockets.
+
+:class:`AioProxyClient` mirrors :class:`repro.core.api.NexusProxyClient`
+for asyncio streams: ``connect`` (``NXProxyConnect``) returns a
+``(reader, writer)`` pair relayed through the outer server; ``bind``
+(``NXProxyBind``) returns an :class:`AioProxiedListener` whose
+``proxy_addr`` is the publicly reachable endpoint on the outer server
+and whose ``accept`` (``NXProxyAccept``) yields chained-in peers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.core.aio.protocol import (
+    ProtocolError,
+    read_control,
+    write_control,
+)
+from repro.core.protocol import NXProxyError
+
+__all__ = ["AioProxyClient", "AioProxiedListener"]
+
+StreamPair = tuple[asyncio.StreamReader, asyncio.StreamWriter]
+
+
+class AioProxiedListener:
+    """The live 'file descriptor' returned by ``NXProxyBind``."""
+
+    def __init__(
+        self,
+        local_server: asyncio.base_events.Server,
+        control_writer: asyncio.StreamWriter,
+        proxy_host: str,
+        proxy_port: int,
+        queue: "asyncio.Queue[StreamPair]",
+    ) -> None:
+        self._local_server = local_server
+        self._control_writer = control_writer
+        self._queue = queue
+        #: Publicly announced address, on the outer server.
+        self.proxy_addr = (proxy_host, proxy_port)
+        self.closed = False
+
+    @property
+    def local_addr(self) -> tuple[str, int]:
+        sock = self._local_server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def accept(self, timeout: Optional[float] = None) -> StreamPair:
+        """(``NXProxyAccept``) next peer chained in by the inner server."""
+        if timeout is None:
+            return await self._queue.get()
+        return await asyncio.wait_for(self._queue.get(), timeout)
+
+    # Table 1 spelling.
+    NXProxyAccept = accept
+
+    async def close(self) -> None:
+        """Release the bind: the outer server drops the public port
+        when the control connection closes."""
+        if self.closed:
+            return
+        self.closed = True
+        self._control_writer.close()
+        self._local_server.close()
+        await self._local_server.wait_closed()
+
+
+class AioProxyClient:
+    """Per-process handle to a live Nexus Proxy deployment."""
+
+    def __init__(
+        self,
+        outer_addr: Optional[tuple[str, int]] = None,
+        inner_addr: Optional[tuple[str, int]] = None,
+        local_host: str = "127.0.0.1",
+        secret: Optional[str] = None,
+    ) -> None:
+        self.outer_addr = outer_addr
+        self.inner_addr = inner_addr
+        #: Shared secret attached to control requests, when required.
+        self.secret = secret
+        #: Address this process's private listeners bind on (must be
+        #: reachable from the inner server).
+        self.local_host = local_host
+
+    @property
+    def enabled(self) -> bool:
+        return self.outer_addr is not None
+
+    # -- active open (Fig. 3) ------------------------------------------------
+
+    async def connect(self, host: str, port: int) -> StreamPair:
+        """(``NXProxyConnect``) open a relayed — or, when no proxy is
+        configured, direct — connection to ``host:port``."""
+        if not self.enabled:
+            return await asyncio.open_connection(host, port)
+        assert self.outer_addr is not None
+        reader, writer = await asyncio.open_connection(*self.outer_addr)
+        request = {"op": "connect", "host": host, "port": port}
+        if self.secret is not None:
+            request["secret"] = self.secret
+        write_control(writer, request)
+        await writer.drain()
+        try:
+            reply = await read_control(reader)
+        except ProtocolError as exc:
+            writer.close()
+            raise NXProxyError(f"NXProxyConnect({host}:{port}): {exc}") from exc
+        if not reply.get("ok"):
+            writer.close()
+            raise NXProxyError(
+                f"NXProxyConnect({host}:{port}): {reply.get('error', 'refused')}"
+            )
+        return reader, writer
+
+    # Table 1 spelling.
+    NXProxyConnect = connect
+
+    # -- passive open (Fig. 4) --------------------------------------------------
+
+    async def bind(self) -> AioProxiedListener:
+        """(``NXProxyBind``) publish a listening endpoint on the outer
+        server; peers that connect there are chained back here."""
+        if not self.enabled:
+            raise NXProxyError("NXProxyBind: no outer server configured")
+        if self.inner_addr is None:
+            raise NXProxyError(
+                "NXProxyBind needs an inner server address "
+                "(NEXUS_PROXY_INNER_SERVER undefined)"
+            )
+        queue: asyncio.Queue[StreamPair] = asyncio.Queue()
+
+        async def on_chain(r: asyncio.StreamReader, w: asyncio.StreamWriter) -> None:
+            await queue.put((r, w))
+
+        local_server = await asyncio.start_server(on_chain, self.local_host, 0)
+        local_port = local_server.sockets[0].getsockname()[1]
+
+        assert self.outer_addr is not None
+        reader, writer = await asyncio.open_connection(*self.outer_addr)
+        request = {
+            "op": "bind",
+            "client_host": self.local_host,
+            "client_port": local_port,
+            "inner_host": self.inner_addr[0],
+            "inner_port": self.inner_addr[1],
+        }
+        if self.secret is not None:
+            request["secret"] = self.secret
+        write_control(writer, request)
+        await writer.drain()
+        try:
+            reply = await read_control(reader)
+        except ProtocolError as exc:
+            writer.close()
+            local_server.close()
+            raise NXProxyError(f"NXProxyBind: {exc}") from exc
+        if not reply.get("ok"):
+            writer.close()
+            local_server.close()
+            raise NXProxyError(f"NXProxyBind: {reply.get('error', 'refused')}")
+        return AioProxiedListener(
+            local_server, writer, reply["proxy_host"], reply["proxy_port"], queue
+        )
+
+    # Table 1 spelling.
+    NXProxyBind = bind

@@ -1,0 +1,91 @@
+"""Console entry points for the live relay daemons.
+
+Installed as ``repro-outer-server`` and ``repro-inner-server``::
+
+    # Outside the firewall:
+    repro-outer-server --host 0.0.0.0 --control-port 7000
+
+    # Inside the firewall (open TCP 7100 inbound from the outer host):
+    repro-inner-server --host 0.0.0.0 --nxport 7100
+
+Both run until interrupted and log connects/binds/chains to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import logging
+
+from repro.core.aio.relay import DEFAULT_CHUNK, AioInnerServer, AioOuterServer
+
+__all__ = ["outer_main", "inner_main"]
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="address to bind")
+    parser.add_argument(
+        "--chunk", type=int, default=DEFAULT_CHUNK,
+        help="relay read-buffer size in bytes",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+
+
+def _setup_logging(verbose: bool) -> None:
+    logging.basicConfig(
+        level=logging.DEBUG if verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+
+
+async def _serve_forever(server) -> None:
+    await server.start()
+    try:
+        await asyncio.Event().wait()  # until cancelled
+    finally:
+        await server.stop()
+
+
+def outer_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-outer-server",
+        description="Nexus Proxy outer server (runs outside the firewall)",
+    )
+    _common(parser)
+    parser.add_argument("--control-port", type=int, default=7000)
+    parser.add_argument(
+        "--secret", default=None,
+        help="shared secret clients must present (default: open)",
+    )
+    args = parser.parse_args(argv)
+    _setup_logging(args.verbose)
+    server = AioOuterServer(
+        args.host, args.control_port, chunk=args.chunk, secret=args.secret
+    )
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(_serve_forever(server))
+    return 0
+
+
+def inner_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-inner-server",
+        description="Nexus Proxy inner server (runs inside the firewall; "
+        "open the nxport inbound from the outer server only)",
+    )
+    _common(parser)
+    parser.add_argument("--nxport", type=int, default=7100)
+    parser.add_argument(
+        "--allow-from", action="append", default=None, metavar="ADDR",
+        help="only accept nxport connections from this source address "
+        "(repeatable; default: accept any — rely on the packet filter)",
+    )
+    args = parser.parse_args(argv)
+    _setup_logging(args.verbose)
+    server = AioInnerServer(
+        args.host, args.nxport, chunk=args.chunk, allowed_peers=args.allow_from
+    )
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(_serve_forever(server))
+    return 0

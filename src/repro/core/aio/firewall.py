@@ -1,0 +1,94 @@
+"""Firewall emulation for the live loopback demo.
+
+Real kernel packet filters can't be configured from a test suite, so
+the live demo enforces the policy at the dialer: every simulated
+"host" is a label, and :class:`GuardedDialer` consults the same
+:class:`~repro.simnet.firewall.Firewall` rule engine the simulator
+uses before allowing :func:`asyncio.open_connection`.  The relay
+daemons themselves dial unguarded only where the real deployment would
+(the nxport pinhole), so the demo exercises exactly the reachability
+matrix of a deny-based site.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Mapping, Optional
+
+from repro.simnet.firewall import Direction, Firewall, FirewallBlocked
+
+__all__ = ["GuardedDialer"]
+
+
+class GuardedDialer:
+    """A connect() wrapper that enforces per-site firewall policy.
+
+    ``site_of`` maps host labels to site names (absent = the open
+    Internet); ``firewalls`` maps site names to rule tables.  The
+    semantics match :meth:`repro.simnet.topology.Network.filter_connection`:
+    the source site's outbound policy, then the destination site's
+    inbound policy.
+    """
+
+    def __init__(
+        self,
+        site_of: Mapping[str, str],
+        firewalls: Mapping[str, Firewall],
+        resolve: Optional[Mapping[str, tuple[str, int]]] = None,
+    ) -> None:
+        self.site_of = dict(site_of)
+        self.firewalls = dict(firewalls)
+        #: Optional label → (real host, real port) mapping so demo code
+        #: can dial labels instead of loopback port numbers.
+        self.resolve = dict(resolve or {})
+
+    def check(self, src_label: str, dst_label: str, dst_port: int) -> None:
+        """Raise :class:`FirewallBlocked` if policy filters the dial."""
+        src_site = self.site_of.get(src_label)
+        dst_site = self.site_of.get(dst_label)
+        if src_site == dst_site:
+            return
+        if src_site is not None:
+            fw = self.firewalls.get(src_site)
+            if fw is not None and not fw.permits(
+                Direction.OUTBOUND, src_label, dst_label, dst_port
+            ):
+                raise FirewallBlocked(
+                    f"{src_label} -> {dst_label}:{dst_port} blocked outbound "
+                    f"by {fw.name!r}",
+                    silent_drop=not fw.reject,
+                )
+        if dst_site is not None:
+            fw = self.firewalls.get(dst_site)
+            if fw is not None and not fw.permits(
+                Direction.INBOUND, src_label, dst_label, dst_port
+            ):
+                raise FirewallBlocked(
+                    f"{src_label} -> {dst_label}:{dst_port} blocked inbound "
+                    f"by {fw.name!r}",
+                    silent_drop=not fw.reject,
+                )
+
+    async def open_connection(
+        self,
+        src_label: str,
+        dst_label: str,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        logical_port: Optional[int] = None,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """Policy-checked dial.
+
+        ``host``/``port`` are the real endpoint (default: looked up in
+        ``resolve`` by ``dst_label``); ``logical_port`` is the port
+        number the policy sees (defaults to the real one) — useful when
+        loopback uses ephemeral ports but the policy names well-known
+        ones.
+        """
+        if host is None or port is None:
+            try:
+                host, port = self.resolve[dst_label]
+            except KeyError:
+                raise FirewallBlocked(f"unknown destination label {dst_label!r}")
+        self.check(src_label, dst_label, logical_port if logical_port is not None else port)
+        return await asyncio.open_connection(host, port)

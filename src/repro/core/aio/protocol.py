@@ -1,0 +1,91 @@
+"""Byte-level control protocol of the live relay.
+
+Control messages are single newline-terminated JSON objects — one
+request, one reply — after which the connection switches to opaque
+byte relaying.  JSON keeps the protocol debuggable with ``nc``; the
+data path never touches it.
+
+Ops:
+
+* ``{"op": "connect", "host": H, "port": P}`` → outer server; reply
+  ``{"ok": true}`` then raw relay (Fig. 3).
+* ``{"op": "bind", "client_host": H, "client_port": P,
+  "inner_host": IH, "inner_port": IP}`` → outer server; reply
+  ``{"ok": true, "proxy_host": ..., "proxy_port": ...}``.  The control
+  connection then stays open; its EOF releases the bind (Fig. 4).
+* ``{"op": "relayto", "host": H, "port": P}`` → inner server; reply
+  ``{"ok": true}`` then raw relay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+__all__ = [
+    "MAX_CONTROL_LINE",
+    "ProtocolError",
+    "read_control",
+    "write_control",
+    "ok_reply",
+    "error_reply",
+]
+
+#: Upper bound on a control line; anything longer is a protocol error
+#: (and a cheap defence against garbage on the control port).
+MAX_CONTROL_LINE = 4096
+
+
+class ProtocolError(ConnectionError):
+    """Malformed control traffic."""
+
+
+async def read_control(reader: asyncio.StreamReader) -> dict[str, Any]:
+    """Read one JSON control message; raises :class:`ProtocolError` on
+    garbage, oversize lines, or early EOF."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise ProtocolError(f"control line unreadable: {exc}") from exc
+    if not line:
+        raise ProtocolError("connection closed before control message")
+    if len(line) > MAX_CONTROL_LINE:
+        raise ProtocolError(f"control line too long ({len(line)} bytes)")
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"control line is not JSON: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise ProtocolError(f"control message must be an object, got {type(msg).__name__}")
+    return msg
+
+
+def write_control(writer: asyncio.StreamWriter, msg: dict[str, Any]) -> None:
+    """Queue one JSON control message (caller drains)."""
+    data = json.dumps(msg, separators=(",", ":")).encode() + b"\n"
+    if len(data) > MAX_CONTROL_LINE:
+        raise ProtocolError(f"control message too long ({len(data)} bytes)")
+    writer.write(data)
+
+
+def ok_reply(**extra: Any) -> dict[str, Any]:
+    return {"ok": True, **extra}
+
+
+def error_reply(message: str) -> dict[str, Any]:
+    return {"ok": False, "error": message}
+
+
+def require_fields(msg: dict[str, Any], *fields: str) -> None:
+    """Validate that ``msg`` carries every named field."""
+    missing = [f for f in fields if f not in msg]
+    if missing:
+        raise ProtocolError(f"control message missing fields: {missing}")
+
+
+def require_port(value: Any) -> int:
+    """Validate a port number from the wire."""
+    if not isinstance(value, int) or not (1 <= value <= 65535):
+        raise ProtocolError(f"invalid port: {value!r}")
+    return value

@@ -1,0 +1,338 @@
+"""The live relay daemons (outer and inner servers) on asyncio.
+
+Structurally identical to the simulated servers in
+:mod:`repro.core.outer` / :mod:`repro.core.inner`: the outer server
+answers ``connect`` and ``bind`` requests on its control port; the
+inner server answers ``relayto`` on the nxport; established chains are
+pumped chunk-by-chunk in both directions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.aio.protocol import (
+    ProtocolError,
+    error_reply,
+    ok_reply,
+    read_control,
+    require_fields,
+    require_port,
+    write_control,
+)
+
+__all__ = ["AioRelayStats", "AioOuterServer", "AioInnerServer", "DEFAULT_CHUNK"]
+
+log = logging.getLogger("repro.nexus_proxy")
+
+#: Relay read-buffer size — the live analogue of RelayConfig.chunk_bytes.
+DEFAULT_CHUNK = 4096
+
+
+def graceful_handler(fn):
+    """Wrap a connection handler so event-loop shutdown is quiet.
+
+    When ``asyncio.run`` tears the loop down it cancels pending
+    handler tasks; on Python 3.11 ``StreamReaderProtocol`` then logs a
+    spurious "Exception in callback" for every cancelled handler.
+    Exiting normally on cancellation (these handlers hold no state
+    that outlives the connection) avoids the noise.
+    """
+
+    async def wrapper(self, reader, writer):
+        try:
+            await fn(self, reader, writer)
+        except asyncio.CancelledError:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    return wrapper
+
+
+@dataclass
+class AioRelayStats:
+    """Forwarding counters of one live relay daemon."""
+
+    active_connects: int = 0
+    passive_binds: int = 0
+    passive_chains: int = 0
+    chunks_relayed: int = 0
+    bytes_relayed: int = 0
+    failed_requests: int = 0
+
+
+async def _pump(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    stats: AioRelayStats,
+    chunk: int,
+) -> None:
+    """Copy bytes reader→writer until EOF or error, then half-close."""
+    try:
+        while True:
+            data = await reader.read(chunk)
+            if not data:
+                break
+            stats.chunks_relayed += 1
+            stats.bytes_relayed += len(data)
+            writer.write(data)
+            await writer.drain()
+    except (ConnectionError, asyncio.IncompleteReadError, OSError):
+        pass
+    finally:
+        with contextlib.suppress(Exception):
+            writer.write_eof()
+
+
+async def _relay_pair(
+    a_reader: asyncio.StreamReader,
+    a_writer: asyncio.StreamWriter,
+    b_reader: asyncio.StreamReader,
+    b_writer: asyncio.StreamWriter,
+    stats: AioRelayStats,
+    chunk: int,
+) -> None:
+    """Bidirectional relay; returns when both directions finish."""
+    try:
+        await asyncio.gather(
+            _pump(a_reader, b_writer, stats, chunk),
+            _pump(b_reader, a_writer, stats, chunk),
+        )
+    finally:
+        for w in (a_writer, b_writer):
+            with contextlib.suppress(Exception):
+                w.close()
+
+
+class _Server:
+    """Common lifecycle for the two daemons."""
+
+    def __init__(self, host: str, chunk: int) -> None:
+        self.host = host
+        self.chunk = chunk
+        self.stats = AioRelayStats()
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None and self._server.is_serving()
+
+    @property
+    def bound_port(self) -> int:
+        """The actually-bound port (resolves port 0)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+class AioOuterServer(_Server):
+    """The live outer server: control port + dynamic public ports."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        control_port: int = 0,
+        chunk: int = DEFAULT_CHUNK,
+        secret: "str | None" = None,
+    ) -> None:
+        super().__init__(host, chunk)
+        self.control_port = control_port
+        #: Optional shared secret every connect/bind request must carry.
+        self.secret = secret
+        self._public_servers: set[asyncio.base_events.Server] = set()
+
+    async def start(self) -> "AioOuterServer":
+        self._server = await asyncio.start_server(
+            self._handle_control, self.host, self.control_port
+        )
+        self.control_port = self.bound_port
+        log.info("outer server listening on %s:%d", self.host, self.control_port)
+        return self
+
+    async def stop(self) -> None:
+        for srv in list(self._public_servers):
+            srv.close()
+        self._public_servers.clear()
+        await super().stop()
+
+    # -- control handling ---------------------------------------------------
+
+    @graceful_handler
+    async def _handle_control(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            msg = await read_control(reader)
+        except ProtocolError as exc:
+            self.stats.failed_requests += 1
+            with contextlib.suppress(Exception):
+                write_control(writer, error_reply(str(exc)))
+                await writer.drain()
+            writer.close()
+            return
+        op = msg.get("op")
+        if self.secret is not None and msg.get("secret") != self.secret:
+            self.stats.failed_requests += 1
+            write_control(writer, error_reply("authentication failed"))
+            with contextlib.suppress(Exception):
+                await writer.drain()
+            writer.close()
+            return
+        if op == "connect":
+            await self._handle_connect(msg, reader, writer)
+        elif op == "bind":
+            await self._handle_bind(msg, reader, writer)
+        else:
+            self.stats.failed_requests += 1
+            write_control(writer, error_reply(f"unknown op {op!r}"))
+            with contextlib.suppress(Exception):
+                await writer.drain()
+            writer.close()
+
+    async def _handle_connect(self, msg, reader, writer) -> None:
+        try:
+            require_fields(msg, "host", "port")
+            port = require_port(msg["port"])
+            onward_r, onward_w = await asyncio.open_connection(msg["host"], port)
+        except (ProtocolError, OSError) as exc:
+            self.stats.failed_requests += 1
+            write_control(writer, error_reply(f"connect failed: {exc}"))
+            with contextlib.suppress(Exception):
+                await writer.drain()
+            writer.close()
+            return
+        self.stats.active_connects += 1
+        write_control(writer, ok_reply())
+        await writer.drain()
+        await _relay_pair(reader, writer, onward_r, onward_w, self.stats, self.chunk)
+
+    async def _handle_bind(self, msg, reader, writer) -> None:
+        try:
+            require_fields(msg, "client_host", "client_port", "inner_host", "inner_port")
+            client_host = msg["client_host"]
+            client_port = require_port(msg["client_port"])
+            inner_host = msg["inner_host"]
+            inner_port = require_port(msg["inner_port"])
+        except ProtocolError as exc:
+            self.stats.failed_requests += 1
+            write_control(writer, error_reply(str(exc)))
+            with contextlib.suppress(Exception):
+                await writer.drain()
+            writer.close()
+            return
+
+        async def on_peer(pr: asyncio.StreamReader, pw: asyncio.StreamWriter) -> None:
+            try:
+                await _chain_peer(pr, pw)
+            except asyncio.CancelledError:
+                with contextlib.suppress(Exception):
+                    pw.close()
+
+        async def _chain_peer(pr: asyncio.StreamReader, pw: asyncio.StreamWriter) -> None:
+            try:
+                ir, iw = await asyncio.open_connection(inner_host, inner_port)
+                write_control(iw, {"op": "relayto", "host": client_host,
+                                   "port": client_port})
+                await iw.drain()
+                reply = await read_control(ir)
+                if not reply.get("ok"):
+                    raise ProtocolError(reply.get("error", "inner refused"))
+            except (ProtocolError, OSError) as exc:
+                self.stats.failed_requests += 1
+                log.warning("passive chain failed: %s", exc)
+                pw.close()
+                return
+            self.stats.passive_chains += 1
+            await _relay_pair(pr, pw, ir, iw, self.stats, self.chunk)
+
+        public = await asyncio.start_server(on_peer, self.host, 0)
+        self._public_servers.add(public)
+        public_port = public.sockets[0].getsockname()[1]
+        self.stats.passive_binds += 1
+        write_control(writer, ok_reply(proxy_host=self.host, proxy_port=public_port))
+        await writer.drain()
+        log.info(
+            "bound public port %d for %s:%d (via inner %s:%d)",
+            public_port, client_host, client_port, inner_host, inner_port,
+        )
+        # The control connection's lifetime scopes the bind.
+        try:
+            while await reader.read(1024):
+                pass
+        finally:
+            public.close()
+            self._public_servers.discard(public)
+            writer.close()
+            log.info("released public port %d", public_port)
+
+
+class AioInnerServer(_Server):
+    """The live inner server, listening on the nxport.
+
+    ``allowed_peers`` is a defence-in-depth copy of the firewall
+    pinhole: when set, connections whose source address is not listed
+    are refused at the daemon even if the packet filter let them
+    through (only the outer server should ever reach the nxport).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        nxport: int = 0,
+        chunk: int = DEFAULT_CHUNK,
+        allowed_peers: "list[str] | None" = None,
+    ) -> None:
+        super().__init__(host, chunk)
+        self.nxport = nxport
+        self.allowed_peers = allowed_peers
+
+    async def start(self) -> "AioInnerServer":
+        self._server = await asyncio.start_server(self._handle, self.host, self.nxport)
+        self.nxport = self.bound_port
+        log.info("inner server listening on %s:%d (nxport)", self.host, self.nxport)
+        return self
+
+    @graceful_handler
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.allowed_peers is not None:
+            peer = writer.get_extra_info("peername")
+            if peer is None or peer[0] not in self.allowed_peers:
+                self.stats.failed_requests += 1
+                log.warning("nxport connection from unexpected peer %r", peer)
+                with contextlib.suppress(Exception):
+                    write_control(
+                        writer, error_reply("source address not permitted")
+                    )
+                    await writer.drain()
+                writer.close()
+                return
+        try:
+            msg = await read_control(reader)
+            if msg.get("op") != "relayto":
+                raise ProtocolError(f"unknown op {msg.get('op')!r}")
+            require_fields(msg, "host", "port")
+            port = require_port(msg["port"])
+            onward_r, onward_w = await asyncio.open_connection(msg["host"], port)
+        except (ProtocolError, OSError) as exc:
+            self.stats.failed_requests += 1
+            with contextlib.suppress(Exception):
+                write_control(writer, error_reply(str(exc)))
+                await writer.drain()
+            writer.close()
+            return
+        self.stats.passive_chains += 1
+        write_control(writer, ok_reply())
+        await writer.drain()
+        await _relay_pair(reader, writer, onward_r, onward_w, self.stats, self.chunk)

@@ -1,0 +1,133 @@
+"""Analytic model of relay chains.
+
+Predicts the one-way transfer time of a message through a chain of
+wire legs and relay stages under chunk pipelining.  Used three ways:
+
+* property tests cross-check the discrete-event simulation against
+  this closed form (they must agree — same physics, two derivations);
+* the Table 2 calibration inverts it to pick relay CPU costs;
+* benchmarks report "predicted vs simulated" so a reader can see the
+  pipeline model at work.
+
+Model: a message of ``B`` bytes is carved into ``n`` chunks.  Each
+pipeline *stage* is either a wire leg (time per chunk = chunk/bandwidth,
+plus a one-off latency) or a relay (time per chunk = per-chunk CPU +
+per-byte CPU).  With store-and-forward pipelining, the finish time is::
+
+    sum(latencies) + sum(stage_time of first chunk) +
+    (n - 1) * max(stage_time)        # the bottleneck stage
+
+which is exact for equal-size chunks and FIFO stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["WireLeg", "RelayStage", "ChainModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class WireLeg:
+    """A sequence of links collapsed into one pipeline stage.
+
+    ``latency`` is the summed one-way propagation; ``bandwidth`` the
+    bottleneck serialization rate along the leg.  Collapsing is valid
+    when intra-leg links are much faster than the stage bottlenecks,
+    which holds for the testbed (LAN hops vs. relay CPU / WAN).
+    """
+
+    latency: float
+    bandwidth: float
+    #: Number of physical links in the leg (each serializes the chunk).
+    nlinks: int = 1
+
+    def stage_time(self, chunk_bytes: int) -> float:
+        return self.nlinks * chunk_bytes / self.bandwidth
+
+
+@dataclass(frozen=True, slots=True)
+class RelayStage:
+    """One relay daemon traversal.
+
+    ``per_chunk_cpu``/``per_byte_cpu`` occupy the relay (throughput
+    bound); ``delay`` is the non-occupying forwarding latency chunks
+    pipeline through (it shifts the whole train once, like wire
+    latency).
+    """
+
+    per_chunk_cpu: float
+    per_byte_cpu: float = 0.0
+    #: Relative CPU speed of the relay host.
+    cpu_speed: float = 1.0
+    #: Non-occupying per-chunk forwarding delay.
+    delay: float = 0.0
+
+    def stage_time(self, chunk_bytes: int) -> float:
+        return (self.per_chunk_cpu + self.per_byte_cpu * chunk_bytes) / self.cpu_speed
+
+
+@dataclass(frozen=True)
+class ChainModel:
+    """An alternating sequence of wire legs and relay stages."""
+
+    stages: Sequence["WireLeg | RelayStage"]
+    chunk_bytes: int
+    #: Fixed endpoint costs added once per message (send + recv CPU).
+    endpoint_overhead: float = 0.0
+    #: Per-chunk frame header bytes on the wire.
+    header_bytes: int = 0
+
+    @property
+    def relay_count(self) -> int:
+        return sum(1 for s in self.stages if isinstance(s, RelayStage))
+
+    def chunks_for(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.chunk_bytes))
+
+    def one_way_time(self, nbytes: int) -> float:
+        """Predicted delivery time of an ``nbytes`` message."""
+        if nbytes <= 0:
+            raise ValueError(f"message size must be positive, got {nbytes}")
+        n = self.chunks_for(nbytes)
+        # Wire stages carry the frame header too.
+        wire_chunk = min(self.chunk_bytes, nbytes) + self.header_bytes
+        total_latency = sum(
+            s.latency if isinstance(s, WireLeg) else s.delay for s in self.stages
+        )
+        times = self._stage_times(wire_chunk, min(self.chunk_bytes, nbytes))
+        first_chunk = sum(times)
+        bottleneck = max(times) if times else 0.0
+        return self.endpoint_overhead + total_latency + first_chunk + (n - 1) * bottleneck
+
+    def _stage_times(self, wire_chunk: int, relay_chunk: int) -> list[float]:
+        """Per-chunk time of each pipeline stage.
+
+        A multi-link wire leg is ``nlinks`` store-and-forward stages
+        (chunks pipeline across the hops), not one stage of summed
+        serialization.
+        """
+        times: list[float] = []
+        for s in self.stages:
+            if isinstance(s, WireLeg):
+                times.extend([wire_chunk / s.bandwidth] * s.nlinks)
+            else:
+                times.append(s.stage_time(relay_chunk))
+        return times
+
+    def bandwidth(self, nbytes: int) -> float:
+        """Effective one-way bandwidth for a message of ``nbytes``."""
+        return nbytes / self.one_way_time(nbytes)
+
+    def asymptotic_bandwidth(self) -> float:
+        """Throughput limit as the message grows: the bottleneck stage."""
+        times = self._stage_times(
+            self.chunk_bytes + self.header_bytes, self.chunk_bytes
+        )
+        return self.chunk_bytes / max(times)
+
+    def ping_pong_latency(self, nbytes: int = 16) -> float:
+        """Half the round trip of a small message — how Table 2's
+        'latency' column is measured."""
+        return self.one_way_time(nbytes)

@@ -1,0 +1,280 @@
+"""The outer server: the relay daemon *outside* the firewall.
+
+Handles two kinds of control request on its control port:
+
+* :class:`~repro.core.protocol.ConnectRequest` — active open (Fig. 3):
+  open an onward connection to the destination and relay both ways.
+* :class:`~repro.core.protocol.BindRequest` — passive open (Fig. 4):
+  bind a public port on behalf of the firewalled client; every peer
+  connection arriving there is chained to the client through the inner
+  server (``peer → outer → inner → client``).
+
+The paper notes that binding the proxy to a privileged port requires
+root and therefore *strengthens* security relative to the Globus 1.1
+open-port-range workaround; we model the privilege boundary simply by
+the relay owning its well-known ports.
+
+Relay pumps pay CPU per forwarded chunk on the outer-server host and
+contend for its cores, so concurrent relayed streams share the daemon
+machine exactly as they would in deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
+from repro.core.pump import relay_pump
+from repro.core.protocol import (
+    CONTROL_MSG_BYTES,
+    REPLY_MSG_BYTES,
+    BindReply,
+    BindRequest,
+    ConnectRequest,
+    Reply,
+    RelayTo,
+)
+from repro.simnet.host import Host
+from repro.simnet.kernel import Event, Process
+from repro.simnet.socket import (
+    Address,
+    Connection,
+    ConnectionReset,
+    ListenSocket,
+    SocketError,
+)
+
+__all__ = ["OuterServer", "RelayStats"]
+
+
+class RelayStats:
+    """Forwarding counters for one relay daemon."""
+
+    def __init__(self) -> None:
+        self.active_connects = 0
+        self.passive_binds = 0
+        self.passive_chains = 0
+        self.frames_relayed = 0
+        self.bytes_relayed = 0
+        self.failed_requests = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RelayStats connects={self.active_connects} "
+            f"binds={self.passive_binds} chains={self.passive_chains} "
+            f"frames={self.frames_relayed} bytes={self.bytes_relayed}>"
+        )
+
+
+class _BindRegistration:
+    """Book-keeping for one NXProxyBind."""
+
+    def __init__(
+        self,
+        client_host: str,
+        client_port: int,
+        inner_host: str,
+        inner_port: int,
+        public_sock: ListenSocket,
+    ) -> None:
+        self.client_host = client_host
+        self.client_port = client_port
+        self.inner_host = inner_host
+        self.inner_port = inner_port
+        self.public_sock = public_sock
+
+
+class OuterServer:
+    """The relay daemon running outside the firewall."""
+
+    def __init__(self, host: Host, config: RelayConfig = DEFAULT_RELAY_CONFIG) -> None:
+        config.validate()
+        self.host = host
+        self.sim = host.sim
+        self.config = config
+        self.stats = RelayStats()
+        self._control_sock: Optional[ListenSocket] = None
+        self._next_public_port = config.public_port_base
+        self._accept_proc: Optional[Process] = None
+        self.bind_registrations: list[_BindRegistration] = []
+
+    @property
+    def control_addr(self) -> Address:
+        return Address(self.host.name, self.config.control_port)
+
+    @property
+    def running(self) -> bool:
+        return self._control_sock is not None and not self._control_sock.closed
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "OuterServer":
+        """Bind the control port and begin accepting; returns self."""
+        if self.running:
+            raise SocketError(f"outer server on {self.host.name} already running")
+        self._control_sock = self.host.listen(
+            self.config.control_port, backlog=self.config.backlog
+        )
+        self._accept_proc = self.sim.process(
+            self._accept_loop(), name=f"outer-accept@{self.host.name}"
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._control_sock is not None:
+            self._control_sock.close()
+        for reg in self.bind_registrations:
+            reg.public_sock.close()
+
+    # -- control plane ----------------------------------------------------------
+
+    def _accept_loop(self) -> Iterator[Event]:
+        assert self._control_sock is not None
+        while True:
+            try:
+                conn = yield self._control_sock.accept()
+            except SocketError:
+                return  # stopped
+            self.sim.process(
+                self._session(conn), name=f"outer-session@{self.host.name}"
+            )
+
+    def _session(self, conn: Connection) -> Iterator[Event]:
+        try:
+            first = yield conn.recv()
+        except ConnectionReset:
+            return
+        request = first.payload
+        yield from self.host.execute(self.config.request_cpu)
+        if isinstance(request, (ConnectRequest, BindRequest)):
+            if self.config.secret is not None and request.secret != self.config.secret:
+                self.stats.failed_requests += 1
+                yield conn.send(
+                    Reply(ok=False, error="authentication failed"),
+                    nbytes=REPLY_MSG_BYTES,
+                )
+                conn.close()
+                return
+        if isinstance(request, ConnectRequest):
+            yield from self._handle_connect(conn, request)
+        elif isinstance(request, BindRequest):
+            yield from self._handle_bind(conn, request)
+        else:
+            self.stats.failed_requests += 1
+            yield conn.send(
+                Reply(ok=False, error=f"bad request {type(request).__name__}"),
+                nbytes=REPLY_MSG_BYTES,
+            )
+            conn.close()
+
+    # -- active open (Fig. 3) ---------------------------------------------------
+
+    def _handle_connect(self, conn: Connection, req: ConnectRequest) -> Iterator[Event]:
+        try:
+            onward = yield from self.host.connect((req.dest_host, req.dest_port))
+        except SocketError as exc:
+            self.stats.failed_requests += 1
+            yield conn.send(Reply(ok=False, error=str(exc)), nbytes=REPLY_MSG_BYTES)
+            conn.close()
+            return
+        self.stats.active_connects += 1
+        yield conn.send(Reply(ok=True), nbytes=REPLY_MSG_BYTES)
+        self._start_pumps(conn, onward)
+
+    # -- passive open (Fig. 4) ----------------------------------------------------
+
+    def _handle_bind(self, conn: Connection, req: BindRequest) -> Iterator[Event]:
+        try:
+            public_sock = self.host.listen(
+                self._allocate_public_port(), backlog=self.config.backlog
+            )
+        except SocketError as exc:
+            self.stats.failed_requests += 1
+            yield conn.send(
+                BindReply(ok=False, error=str(exc)), nbytes=REPLY_MSG_BYTES
+            )
+            conn.close()
+            return
+        reg = _BindRegistration(
+            req.client_host, req.client_port, req.inner_host, req.inner_port,
+            public_sock,
+        )
+        self.bind_registrations.append(reg)
+        self.stats.passive_binds += 1
+        yield conn.send(
+            BindReply(ok=True, proxy_host=self.host.name, proxy_port=public_sock.port),
+            nbytes=REPLY_MSG_BYTES,
+        )
+        self.sim.process(
+            self._public_accept_loop(reg),
+            name=f"outer-public:{public_sock.port}@{self.host.name}",
+        )
+        # The control connection's lifetime scopes the bind: when the
+        # client closes it (listener closed), the public port dies.
+        try:
+            while True:
+                yield conn.recv()
+        except ConnectionReset:
+            public_sock.close()
+            if reg in self.bind_registrations:
+                self.bind_registrations.remove(reg)
+
+    def _allocate_public_port(self) -> int:
+        while self.host.is_listening(self._next_public_port):
+            self._next_public_port += 1
+        port = self._next_public_port
+        self._next_public_port += 1
+        return port
+
+    def _public_accept_loop(self, reg: _BindRegistration) -> Iterator[Event]:
+        while True:
+            try:
+                peer = yield reg.public_sock.accept()
+            except SocketError:
+                return  # bind closed
+            self.sim.process(
+                self._passive_chain(peer, reg),
+                name=f"outer-chain@{self.host.name}",
+            )
+
+    def _passive_chain(self, peer: Connection, reg: _BindRegistration) -> Iterator[Event]:
+        """peer → outer → inner → client (Fig. 4 steps 4-1, 4-2)."""
+        yield from self.host.execute(self.config.request_cpu)
+        try:
+            inner = yield from self.host.connect((reg.inner_host, reg.inner_port))
+        except SocketError:
+            self.stats.failed_requests += 1
+            peer.close()
+            return
+        yield inner.send(
+            RelayTo(reg.client_host, reg.client_port), nbytes=CONTROL_MSG_BYTES
+        )
+        try:
+            reply_msg = yield inner.recv()
+        except ConnectionReset:
+            self.stats.failed_requests += 1
+            peer.close()
+            return
+        reply: Reply = reply_msg.payload
+        if not reply.ok:
+            self.stats.failed_requests += 1
+            peer.close()
+            inner.close()
+            return
+        self.stats.passive_chains += 1
+        self._start_pumps(peer, inner)
+
+    # -- data plane -----------------------------------------------------------------
+
+    def _start_pumps(self, a: Connection, b: Connection) -> None:
+        self.sim.process(self._pump(a, b), name=f"pump@{self.host.name}")
+        self.sim.process(self._pump(b, a), name=f"pump@{self.host.name}")
+
+    def _pump(self, src: Connection, dst: Connection) -> Iterator[Event]:
+        """Forward chunks src→dst until either side goes away (see
+        :func:`repro.core.pump.relay_pump` for the cost model)."""
+        yield from relay_pump(self.host, self.config, self.stats, src, dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return f"<OuterServer {self.control_addr} {state}>"

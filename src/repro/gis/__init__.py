@@ -1,0 +1,27 @@
+"""GIS — a Grid Information Service (Globus MDS-like directory).
+
+The paper's intro lists "network information" among the basic Globus
+mechanisms its testbed relied on.  This package provides that
+substrate: a directory daemon where resources publish attribute
+records with TTLs and clients run filtered queries — the discovery
+path a metacomputing scheduler uses before talking to GRAM.
+
+The RMF allocator can publish its resource table here
+(:func:`repro.gis.publish.publish_rmf_resources`), closing the loop:
+discover via GIS, submit via the gatekeeper, compute behind the
+firewall.
+"""
+
+from repro.gis.client import GISClient
+from repro.gis.records import GISError, Record
+from repro.gis.server import DEFAULT_GIS_PORT, GISServer
+from repro.gis.publish import publish_rmf_resources
+
+__all__ = [
+    "DEFAULT_GIS_PORT",
+    "GISClient",
+    "GISError",
+    "GISServer",
+    "Record",
+    "publish_rmf_resources",
+]

@@ -1,0 +1,74 @@
+"""Client-side access to the directory.
+
+One persistent connection per client; operations are generators in the
+simulator's style.  Resources inside a firewalled site can publish
+because the connection is outbound; anyone can query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.gis.records import GISError, Record
+from repro.gis.server import GISReply, QueryMsg, RegisterMsg, UnregisterMsg, _CTRL_BYTES
+from repro.simnet.host import Host
+from repro.simnet.kernel import Event
+from repro.simnet.socket import Connection, ConnectionReset, SocketError
+
+__all__ = ["GISClient"]
+
+
+class GISClient:
+    """Handle for one host talking to one GIS server."""
+
+    def __init__(self, host: Host, server_addr: tuple[str, int]) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.server_addr = server_addr
+        self._conn: Optional[Connection] = None
+
+    def _ensure_connected(self) -> Iterator[Event]:
+        if self._conn is not None and not self._conn.closed:
+            return
+        self._conn = yield from self.host.connect(self.server_addr)
+
+    def _roundtrip(self, request: Any) -> Iterator[Event]:
+        yield from self._ensure_connected()
+        assert self._conn is not None
+        yield self._conn.send(request, nbytes=_CTRL_BYTES)
+        try:
+            msg = yield self._conn.recv()
+        except ConnectionReset:
+            self._conn = None
+            raise GISError(f"GIS at {self.server_addr} dropped the connection")
+        reply: GISReply = msg.payload
+        if not isinstance(reply, GISReply):
+            raise GISError(f"unexpected GIS reply: {reply!r}")
+        return reply
+
+    # -- operations -----------------------------------------------------
+
+    def register(
+        self, dn: str, attributes: Mapping[str, Any], ttl: float = 300.0
+    ) -> Iterator[Event]:
+        """Generator: publish (or refresh) a record."""
+        reply = yield from self._roundtrip(RegisterMsg(dn, dict(attributes), ttl))
+        if not reply.ok:
+            raise GISError(f"register({dn!r}) failed: {reply.error}")
+
+    def unregister(self, dn: str) -> Iterator[Event]:
+        """Generator: remove a record; returns whether it existed."""
+        reply = yield from self._roundtrip(UnregisterMsg(dn))
+        return reply.ok
+
+    def search(self, filter_text: str) -> Iterator[Event]:
+        """Generator: filtered query; returns a list of Records."""
+        reply = yield from self._roundtrip(QueryMsg(filter_text))
+        if not reply.ok:
+            raise GISError(f"search({filter_text!r}) failed: {reply.error}")
+        return list(reply.records)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None

@@ -1,0 +1,105 @@
+"""Directory records and query filters.
+
+A :class:`Record` is a distinguished name plus a flat attribute map
+plus a time-to-live — the MDS object model reduced to what discovery
+needs.  Queries are conjunctions of attribute conditions in a small
+LDAP-flavoured filter language::
+
+    (&(type=compute)(cpus>=8)(site=rwcp))
+
+Supported operators: ``=`` (string equality, ``*`` matches any value),
+``>=``, ``<=``, ``>``, ``<`` (numeric).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = ["GISError", "Record", "Filter", "parse_filter"]
+
+
+class GISError(RuntimeError):
+    """Directory-service failure or malformed query."""
+
+
+@dataclass(frozen=True)
+class Record:
+    """One published directory entry."""
+
+    dn: str
+    attributes: Mapping[str, Any]
+    #: Registration instant (simulated seconds).
+    registered_at: float = 0.0
+    #: Seconds the record stays valid without a refresh.
+    ttl: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not self.dn:
+            raise GISError("record needs a distinguished name")
+        if self.ttl <= 0:
+            raise GISError(f"ttl must be positive, got {self.ttl}")
+
+    def expired(self, now: float) -> bool:
+        return now > self.registered_at + self.ttl
+
+    def get(self, attr: str, default: Any = None) -> Any:
+        return self.attributes.get(attr, default)
+
+
+_CONDITION = re.compile(
+    r"\(\s*([A-Za-z_][\w.-]*)\s*(>=|<=|>|<|=)\s*([^()]*?)\s*\)"
+)
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A compiled conjunction of attribute conditions."""
+
+    text: str
+    conditions: tuple[tuple[str, str, str], ...]
+
+    def matches(self, record: Record) -> bool:
+        for attr, op, want in self.conditions:
+            have = record.get(attr)
+            if have is None:
+                return False
+            if op == "=":
+                if want != "*" and str(have) != want:
+                    return False
+            else:
+                try:
+                    have_num = float(have)
+                    want_num = float(want)
+                except (TypeError, ValueError):
+                    return False
+                if op == ">=" and not have_num >= want_num:
+                    return False
+                if op == "<=" and not have_num <= want_num:
+                    return False
+                if op == ">" and not have_num > want_num:
+                    return False
+                if op == "<" and not have_num < want_num:
+                    return False
+        return True
+
+
+def parse_filter(text: str) -> Filter:
+    """Compile a filter string; ``""`` or ``"(*)"`` matches everything."""
+    stripped = text.strip()
+    if stripped in ("", "(*)", "*"):
+        return Filter(text=text, conditions=())
+    body = stripped
+    if body.startswith("(&") and body.endswith(")"):
+        body = body[2:-1]
+    conditions = tuple(
+        (m.group(1), m.group(2), m.group(3)) for m in _CONDITION.finditer(body)
+    )
+    if not conditions:
+        raise GISError(f"unparsable filter: {text!r}")
+    # Guard against silently ignored garbage between conditions.
+    leftover = _CONDITION.sub("", body).strip()
+    if leftover:
+        raise GISError(f"trailing garbage in filter {text!r}: {leftover!r}")
+    return Filter(text=text, conditions=conditions)

@@ -1,0 +1,9 @@
+"""MPI layer exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["MPIError"]
+
+
+class MPIError(RuntimeError):
+    """Misuse of, or failure inside, the MPI-like layer."""

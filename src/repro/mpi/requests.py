@@ -1,0 +1,94 @@
+"""Nonblocking point-to-point: requests in the MPI_Request mould.
+
+mpi4py-style lowercase nonblocking calls adapted to generator style::
+
+    req = comm.irecv(source=3, tag=7)
+    ...  # overlap computation
+    payload, status = yield from req.wait()
+
+    sreq = comm.isend(data, dest=3, tag=7, nbytes=100)
+    yield from sreq.wait()
+
+A receive request matches eagerly: if a matching message is already
+pending it completes immediately; otherwise it takes a place in the
+communicator's waiter queue exactly like a blocking receive (ordering
+between blocking and nonblocking receives is arrival order of the
+calls, the MPI rule).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from repro.mpi.errors import MPIError
+from repro.mpi.status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.communicator import Communicator
+
+from repro.simnet.kernel import AllOf, Event
+
+__all__ = ["Request", "waitall"]
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation."""
+
+    def __init__(self, comm: "Communicator", event: Event, kind: str) -> None:
+        self.comm = comm
+        self._event = event
+        #: "send" or "recv".
+        self.kind = kind
+        self._consumed = False
+
+    @property
+    def completed(self) -> bool:
+        """Whether the operation has finished (test-only, no wait)."""
+        return self._event.triggered
+
+    def test(self) -> "Optional[tuple[Any, Optional[Status]]]":
+        """Non-blocking completion check.
+
+        Returns ``None`` while in flight; on completion returns the
+        same pair :meth:`wait` would (and marks the request consumed).
+        """
+        if not self._event.triggered:
+            return None
+        return self._finish()
+
+    def wait(self) -> Iterator[Event]:
+        """Generator: block until completion.
+
+        Receives return ``(payload, Status)``; sends return
+        ``(None, None)``.
+        """
+        if not self._event.triggered:
+            yield self._event
+        return self._finish()
+
+    def _finish(self) -> "tuple[Any, Optional[Status]]":
+        if self._consumed:
+            raise MPIError(f"{self.kind} request already waited on")
+        self._consumed = True
+        if self.kind == "recv":
+            env = self._event.value
+            return env.payload, Status(
+                env.source, env.tag, env.nbytes, self.comm.sim.now
+            )
+        return None, None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.completed else "pending"
+        return f"<Request {self.kind} {state}>"
+
+
+def waitall(requests: "list[Request]") -> Iterator[Event]:
+    """Generator: complete every request; returns their results in
+    order (MPI_Waitall)."""
+    if not requests:
+        return []
+    pending = [r._event for r in requests if not r._event.triggered]
+    if pending:
+        sim = requests[0].comm.sim
+        yield AllOf(sim, pending)
+    return [r._finish() for r in requests]

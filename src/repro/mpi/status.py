@@ -1,0 +1,42 @@
+"""Receive status and matching wildcards (mpi4py-style constants)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Status", "Envelope"]
+
+#: Match any sending rank.
+ANY_SOURCE: int = -1
+#: Match any tag.
+ANY_TAG: int = -1
+
+#: Per-message envelope overhead on the wire (rank, tag, length).
+ENVELOPE_BYTES = 32
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """A message in flight or awaiting a matching receive."""
+
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+    sent_at: float
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source == ANY_SOURCE or source == self.source) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Status:
+    """What a completed receive reports."""
+
+    source: int
+    tag: int
+    nbytes: int
+    received_at: float

@@ -1,0 +1,145 @@
+"""World construction: turning hosts into an MPI job.
+
+:class:`MPIWorld` plays the role of ``mpirun`` + the MPICH-G startup
+exchange: you declare where each rank runs (host + firewall-traversal
+mode), call :meth:`initialize` to bind every rank's endpoint and share
+the address table, then either drive the per-rank
+:class:`~repro.mpi.communicator.Communicator`\\ s yourself or use
+:meth:`launch` to spawn one simulated process per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
+from repro.mpi.communicator import Communicator
+from repro.mpi.errors import MPIError
+from repro.nexus.context import NexusContext
+from repro.simnet.host import Host
+from repro.simnet.kernel import AllOf, Event, Process
+from repro.simnet.socket import Address
+from repro.simnet.topology import Network
+
+__all__ = ["RankSpec", "MPIWorld"]
+
+#: Type of a per-rank program: ``fn(comm, *args)`` returning a generator.
+RankMain = Callable[..., Iterator[Event]]
+
+
+@dataclass(frozen=True, slots=True)
+class RankSpec:
+    """Placement and communication mode of one rank."""
+
+    host: Host
+    outer_addr: Optional[Address] = None
+    inner_addr: Optional[Address] = None
+    port_min: Optional[int] = None
+    port_max: Optional[int] = None
+
+    @property
+    def proxied(self) -> bool:
+        return self.outer_addr is not None
+
+
+class MPIWorld:
+    """Builder for one MPI job on a simulated network."""
+
+    def __init__(
+        self, network: Network, relay_config: RelayConfig = DEFAULT_RELAY_CONFIG
+    ) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.relay_config = relay_config
+        self.specs: list[RankSpec] = []
+        self.comms: Optional[list[Communicator]] = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_rank(
+        self,
+        host: Host,
+        outer_addr: "Address | tuple[str, int] | None" = None,
+        inner_addr: "Address | tuple[str, int] | None" = None,
+        port_min: Optional[int] = None,
+        port_max: Optional[int] = None,
+    ) -> int:
+        """Declare the next rank on ``host``; returns its rank number.
+
+        Pass ``outer_addr``/``inner_addr`` for ranks whose site needs
+        the Nexus Proxy (the paper's "use Nexus Proxy" condition);
+        leave them unset for direct communication.
+        """
+        if self.comms is not None:
+            raise MPIError("world already initialized")
+
+        def addr(a):
+            if a is None or isinstance(a, Address):
+                return a
+            return Address(*a)
+
+        self.specs.append(
+            RankSpec(host, addr(outer_addr), addr(inner_addr), port_min, port_max)
+        )
+        return len(self.specs) - 1
+
+    def add_ranks(self, hosts: "list[Host]", **kwargs) -> list[int]:
+        """Declare one rank per host with shared settings."""
+        return [self.add_rank(h, **kwargs) for h in hosts]
+
+    @property
+    def size(self) -> int:
+        return len(self.specs)
+
+    # -- startup -----------------------------------------------------------------
+
+    def initialize(self) -> Iterator[Event]:
+        """Generator: bind all endpoints, exchange addresses, return the
+        per-rank communicators (index = rank)."""
+        if self.comms is not None:
+            raise MPIError("world already initialized")
+        if not self.specs:
+            raise MPIError("no ranks declared")
+        contexts: list[NexusContext] = []
+        endpoints = []
+        for i, spec in enumerate(self.specs):
+            ctx = NexusContext(
+                spec.host,
+                outer_addr=spec.outer_addr,
+                inner_addr=spec.inner_addr,
+                port_min=spec.port_min,
+                port_max=spec.port_max,
+                relay_config=self.relay_config,
+            )
+            ep = yield from ctx.create_endpoint(f"mpi[{i}]")
+            contexts.append(ctx)
+            endpoints.append(ep)
+        rank_addrs = [ep.addr for ep in endpoints]
+        self.comms = [
+            Communicator(i, contexts[i], endpoints[i], rank_addrs)
+            for i in range(len(self.specs))
+        ]
+        return self.comms
+
+    def launch(self, main: RankMain, *args: Any) -> Iterator[Event]:
+        """Generator: initialize, run ``main(comm, *args)`` on every
+        rank concurrently, finalize, and return per-rank results."""
+        comms = yield from self.initialize()
+        procs: list[Process] = [
+            self.sim.process(main(comm, *args), name=f"rank[{comm.rank}]")
+            for comm in comms
+        ]
+        gathered = yield AllOf(self.sim, procs)
+        for comm in comms:
+            comm.finalize()
+        return [gathered[p] for p in procs]
+
+    def finalize(self) -> None:
+        if self.comms is not None:
+            for comm in self.comms:
+                comm.finalize()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "initialized" if self.comms is not None else "building"
+        return f"<MPIWorld size={self.size} {state}>"

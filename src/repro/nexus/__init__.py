@@ -1,0 +1,25 @@
+"""A Nexus-like communication library.
+
+The layer the Globus toolkit's communication rode on: contexts own
+endpoints (receivers, bound directly or published through the Nexus
+Proxy) and startpoints (lazily-connected cached senders).  The MPI
+layer (:mod:`repro.mpi`) is built entirely on this module.
+"""
+
+from repro.nexus.context import NexusContext
+from repro.nexus.endpoint import Delivery, Endpoint
+from repro.nexus.errors import NexusError, PortRangeExhausted
+from repro.nexus.rsr import RSREnvelope
+from repro.nexus.startpoint import Startpoint
+from repro.nexus.tcpproto import TcpProtocolModule
+
+__all__ = [
+    "Delivery",
+    "Endpoint",
+    "NexusContext",
+    "NexusError",
+    "PortRangeExhausted",
+    "RSREnvelope",
+    "Startpoint",
+    "TcpProtocolModule",
+]

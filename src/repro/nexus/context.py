@@ -1,0 +1,116 @@
+"""Nexus contexts: per-process communication state.
+
+A :class:`NexusContext` bundles everything one simulated process needs
+to communicate: its host, its proxy configuration (the environment
+variables of §3), an optional Globus 1.1 port range, and caches of
+startpoints.  The three deployment modes of the paper map to three
+constructor shapes:
+
+* **proxy mode** (the paper's contribution): pass ``outer_addr`` and
+  ``inner_addr``; endpoints are published on the outer server and all
+  connects relay through it.
+* **port-range mode** (the Globus 1.1 workaround): pass ``port_min`` /
+  ``port_max``; endpoints bind inside the range, connects are direct.
+* **open mode** (no firewall): pass nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.api import DirectListener, NexusProxyClient
+from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
+from repro.nexus.endpoint import Endpoint
+from repro.nexus.errors import NexusError
+from repro.nexus.startpoint import Startpoint
+from repro.nexus.tcpproto import TcpProtocolModule
+from repro.simnet.host import Host
+from repro.simnet.kernel import Event
+from repro.simnet.socket import Address
+
+__all__ = ["NexusContext"]
+
+
+class NexusContext:
+    """Communication context of one process on ``host``."""
+
+    def __init__(
+        self,
+        host: Host,
+        outer_addr: "Address | tuple[str, int] | None" = None,
+        inner_addr: "Address | tuple[str, int] | None" = None,
+        port_min: Optional[int] = None,
+        port_max: Optional[int] = None,
+        relay_config: RelayConfig = DEFAULT_RELAY_CONFIG,
+    ) -> None:
+        if outer_addr is not None and port_min is not None:
+            raise NexusError(
+                "proxy mode and port-range mode are mutually exclusive"
+            )
+        self.host = host
+        self.sim = host.sim
+        self.relay_config = relay_config
+        self.proxy = NexusProxyClient(
+            host, outer_addr=outer_addr, inner_addr=inner_addr, config=relay_config
+        )
+        self.tcp = TcpProtocolModule(host, port_min, port_max)
+        self.endpoints: dict[str, Endpoint] = {}
+        self._startpoints: dict[Address, Startpoint] = {}
+        self.closed = False
+
+    @property
+    def proxied(self) -> bool:
+        """Whether this context relays through the Nexus Proxy."""
+        return self.proxy.enabled
+
+    # -- endpoints ---------------------------------------------------------
+
+    def create_endpoint(self, name: str) -> Iterator[Event]:
+        """Generator: bind and start an :class:`Endpoint`.
+
+        Proxy mode publishes it on the outer server; otherwise it binds
+        locally (inside the port range when one is configured).
+        """
+        if name in self.endpoints:
+            raise NexusError(f"duplicate endpoint name {name!r} on {self.host.name}")
+        if self.proxied:
+            listener = yield from self.proxy.bind()
+        else:
+            sock = self.tcp.listen()
+            listener = DirectListener(sock, self.relay_config.chunk_bytes)
+        ep = Endpoint(self, name, listener)
+        ep._start()
+        self.endpoints[name] = ep
+        return ep
+
+    # -- startpoints ----------------------------------------------------------
+
+    def startpoint(self, target: "Address | tuple[str, int]") -> Startpoint:
+        """The cached sender handle for a remote endpoint address."""
+        if not isinstance(target, Address):
+            target = Address(*target)
+        sp = self._startpoints.get(target)
+        if sp is None:
+            sp = Startpoint(self, target)
+            self._startpoints[target] = sp
+        return sp
+
+    # -- teardown ----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Close every endpoint and startpoint owned by this context."""
+        if self.closed:
+            return
+        self.closed = True
+        for ep in self.endpoints.values():
+            ep.close()
+        for sp in self._startpoints.values():
+            sp.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = (
+            "proxy"
+            if self.proxied
+            else ("port-range" if self.tcp.confined else "open")
+        )
+        return f"<NexusContext {self.host.name} mode={mode}>"

@@ -1,0 +1,179 @@
+"""Nexus endpoints: the receiving side of communication links.
+
+An :class:`Endpoint` owns a listening socket (plain, port-range
+confined, or published through the Nexus Proxy) and a message queue.
+Remote :class:`~repro.nexus.startpoint.Startpoint`\\ s connect to its
+*announced address* — which, when the proxy is in play, is a public
+port on the outer server rather than anything on the endpoint's host.
+A reader process per accepted connection pumps framed messages into
+the queue; ``receive`` takes them out in arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.core.api import ProxiedListener
+from repro.core.frames import FramedConnection
+from repro.nexus.errors import NexusError
+from repro.simnet.kernel import Event, Process
+from repro.simnet.primitives import Channel, ChannelClosed
+from repro.simnet.socket import Address, ConnectionReset, SocketError
+
+__all__ = ["Delivery", "Endpoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """One message taken out of an endpoint queue."""
+
+    payload: Any
+    nbytes: int
+    delivered_at: float
+
+
+class Endpoint:
+    """A bound, accepting communication endpoint.
+
+    Built by :meth:`repro.nexus.context.NexusContext.create_endpoint`;
+    not instantiated directly.
+    """
+
+    def __init__(self, context, name: str, listener: ProxiedListener) -> None:
+        self.context = context
+        self.sim = context.sim
+        self.name = name
+        self._listener = listener
+        self._queue: Channel[Delivery] = Channel(self.sim)
+        self._accept_proc: Optional[Process] = None
+        self._readers: list[Process] = []
+        self.closed = False
+        #: Connections accepted so far.
+        self.connections_accepted = 0
+        self.messages_received = 0
+        self.bytes_received = 0
+        #: Registered RSR handlers: id -> generator function.
+        self._handlers: dict[int, object] = {}
+        self.rsrs_dispatched = 0
+        self.rsrs_unhandled = 0
+
+    @property
+    def addr(self) -> Address:
+        """The announced (startpoint-visible) address."""
+        return self._listener.proxy_addr
+
+    @property
+    def is_proxied(self) -> bool:
+        return self._listener.proxy_addr.host != self.context.host.name
+
+    def _start(self) -> None:
+        self._accept_proc = self.sim.process(
+            self._accept_loop(), name=f"endpoint-accept:{self.name}"
+        )
+
+    def _accept_loop(self) -> Iterator[Event]:
+        while True:
+            try:
+                framed = yield from self._listener.accept()
+            except SocketError:
+                return  # endpoint closed
+            self.connections_accepted += 1
+            self._readers.append(
+                self.sim.process(
+                    self._reader(framed), name=f"endpoint-reader:{self.name}"
+                )
+            )
+
+    def _reader(self, framed: FramedConnection) -> Iterator[Event]:
+        from repro.nexus.rsr import RSREnvelope
+
+        while True:
+            try:
+                payload, nbytes = yield from framed.recv()
+            except (ConnectionReset, ChannelClosed):
+                return
+            self.messages_received += 1
+            self.bytes_received += nbytes
+            if isinstance(payload, RSREnvelope):
+                handler = self._handlers.get(payload.handler_id)
+                if handler is not None:
+                    self.rsrs_dispatched += 1
+                    self.sim.process(
+                        handler(self, payload.payload, nbytes),
+                        name=f"rsr:{self.name}:{payload.handler_id}",
+                    )
+                    continue
+                self.rsrs_unhandled += 1
+                # Unknown handler: fall through to the queue so the
+                # application can observe (and debug) the stray.
+            self._queue.try_put(Delivery(payload, nbytes, self.sim.now))
+
+    def register_handler(self, handler_id: int, fn) -> None:
+        """Bind ``fn(endpoint, payload, nbytes)`` — a generator run as
+        a fresh simulated process — to arrivals addressed to
+        ``handler_id`` (see :mod:`repro.nexus.rsr`)."""
+        if handler_id in self._handlers:
+            raise NexusError(
+                f"handler {handler_id} already registered on {self.name!r}"
+            )
+        self._handlers[handler_id] = fn
+
+    def unregister_handler(self, handler_id: int) -> None:
+        self._handlers.pop(handler_id, None)
+
+    def receive(self, timeout: Optional[float] = None) -> Event:
+        """Event firing with the next :class:`Delivery`."""
+        if self.closed:
+            ev = Event(self.sim)
+            ev.fail(NexusError(f"endpoint {self.name!r} closed"))
+            return ev
+        if timeout is None:
+            return self._queue.get()
+        # Compose queue-get with a timer, losing nothing on timeout.
+        out = Event(self.sim)
+        get = self._queue.get()
+        timer = self.sim.timeout(timeout)
+
+        def on_get(ev: Event) -> None:
+            if out.triggered:
+                if ev.ok:
+                    self._queue.requeue_front(ev.value)
+                else:
+                    ev.defuse()
+                return
+            if ev.ok:
+                out.succeed(ev.value)
+            else:
+                ev.defuse()
+                out.fail(NexusError(f"endpoint {self.name!r} closed"))
+
+        def on_timer(_: Event) -> None:
+            if not out.triggered:
+                out.fail(TimeoutError(f"receive on {self.name!r} timed out"))
+
+        get.callbacks.append(on_get)
+        assert timer.callbacks is not None
+        timer.callbacks.append(on_timer)
+        return out
+
+    def try_receive(self) -> Optional[Delivery]:
+        ok, item = self._queue.try_get()
+        return item if ok else None
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._listener.close()
+        self._queue.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Endpoint {self.name!r} at {self.addr} "
+            f"{'proxied' if self.is_proxied else 'direct'}>"
+        )

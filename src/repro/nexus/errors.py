@@ -1,0 +1,17 @@
+"""Nexus layer exceptions."""
+
+from __future__ import annotations
+
+from repro.simnet.socket import SocketError
+
+__all__ = ["NexusError", "PortRangeExhausted"]
+
+
+class NexusError(SocketError):
+    """Failure inside the Nexus communication layer."""
+
+
+class PortRangeExhausted(NexusError):
+    """No free port left in the configured TCP_MIN_PORT..TCP_MAX_PORT
+    range — the failure mode that caps concurrency under the Globus 1.1
+    workaround (each endpoint consumes one opened port)."""

@@ -1,0 +1,36 @@
+"""Remote Service Requests — Nexus's defining primitive.
+
+In Nexus, communication is not send/recv but *remote service requests*:
+a startpoint names a handler at the remote endpoint, and arrival of the
+message **invokes** that handler with the buffer.  This module adds
+that dispatch layer on top of the endpoint/startpoint machinery:
+
+* :meth:`~repro.nexus.endpoint.Endpoint.register_handler` binds a
+  handler id to a generator function ``fn(endpoint, payload, nbytes)``
+  run as its own simulated process per arrival;
+* :meth:`~repro.nexus.startpoint.Startpoint.send_rsr` ships a payload
+  addressed to a handler id.
+
+Messages with no (or unknown) handler id fall back to the endpoint's
+ordinary delivery queue, so RSR traffic and queue traffic coexist on
+one endpoint — which is how the MPI layer (queue-style) and control
+services (handler-style) share the Nexus substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["RSREnvelope", "RSR_HEADER_BYTES"]
+
+#: Wire overhead of the handler-id header.
+RSR_HEADER_BYTES = 8
+
+
+@dataclass(frozen=True, slots=True)
+class RSREnvelope:
+    """A payload addressed to a remote handler."""
+
+    handler_id: int
+    payload: Any

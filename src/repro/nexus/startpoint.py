@@ -1,0 +1,88 @@
+"""Nexus startpoints: the sending side of communication links.
+
+A :class:`Startpoint` is a handle on a remote endpoint's announced
+address.  The underlying (possibly proxied) connection is opened
+*lazily* on the first send and cached — Nexus semantics, and the reason
+connection-establishment cost shows up once per pair of communicating
+processes rather than per message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.core.frames import FramedConnection
+from repro.nexus.errors import NexusError
+from repro.simnet.kernel import Event
+from repro.simnet.socket import Address, SocketError
+
+__all__ = ["Startpoint"]
+
+
+class Startpoint:
+    """A cached, lazily-connected sender to one remote endpoint."""
+
+    def __init__(self, context, target: Address) -> None:
+        self.context = context
+        self.sim = context.sim
+        self.target = target
+        self._framed: Optional[FramedConnection] = None
+        self._connecting: Optional[Event] = None
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def connected(self) -> bool:
+        return self._framed is not None and not self._framed.closed
+
+    def _ensure_connected(self) -> Iterator[Event]:
+        if self.connected:
+            return
+        if self._connecting is not None:
+            # Another send already dials; piggy-back on it.
+            yield self._connecting
+            if not self.connected:
+                raise NexusError(f"connect to {self.target} failed")
+            return
+        gate = self.sim.event()
+        self._connecting = gate
+        try:
+            framed = yield from self.context.proxy.connect(self.target)
+        except SocketError as exc:
+            self._connecting = None
+            gate.succeed()  # wake piggy-backers; they re-check state
+            raise NexusError(f"connect to {self.target} failed: {exc}") from exc
+        self._framed = framed
+        self._connecting = None
+        gate.succeed()
+
+    def send(self, payload: Any, nbytes: Optional[int] = None) -> Iterator[Event]:
+        """Generator: deliver one message to the remote endpoint.
+
+        Returns when the sender-side work completes (Nexus-style
+        asynchronous RSR: delivery happens in the background).
+        """
+        yield from self._ensure_connected()
+        assert self._framed is not None
+        yield self._framed.send(payload, nbytes=nbytes)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes if nbytes is not None else 0
+
+    def send_rsr(self, handler_id: int, payload: Any,
+                 nbytes: Optional[int] = None) -> Iterator[Event]:
+        """Generator: issue a remote service request — the payload is
+        delivered to the handler registered under ``handler_id`` at
+        the remote endpoint (see :mod:`repro.nexus.rsr`)."""
+        from repro.nexus.rsr import RSR_HEADER_BYTES, RSREnvelope
+
+        wire = (nbytes if nbytes is not None else 64) + RSR_HEADER_BYTES
+        yield from self.send(RSREnvelope(handler_id, payload), nbytes=wire)
+
+    def close(self) -> None:
+        if self._framed is not None:
+            self._framed.close()
+            self._framed = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "connected" if self.connected else "idle"
+        return f"<Startpoint -> {self.target} {state}>"

@@ -1,0 +1,85 @@
+"""The TCP protocol module, including the Globus 1.1 port-range knob.
+
+§1 of the paper: Globus 1.0's Nexus allocated listening ports
+dynamically with no way to pin them, so deny-based firewalls broke it
+outright; Globus 1.1 added ``TCP_MIN_PORT``/``TCP_MAX_PORT`` so sites
+could open a fixed range — "basically the same as the allow based
+firewall", the security regression the Nexus Proxy exists to avoid.
+
+:class:`TcpProtocolModule` reproduces both behaviours: with no range it
+binds ephemeral ports (unreachable through a deny-based firewall); with
+a range it binds inside it and can pre-open the matching firewall hole
+(:meth:`open_firewall_range`), so experiments can compare the proxy
+against the port-range workaround like-for-like.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nexus.errors import PortRangeExhausted
+from repro.simnet.host import Host
+from repro.simnet.socket import ListenSocket, SocketError
+
+__all__ = ["TcpProtocolModule"]
+
+
+class TcpProtocolModule:
+    """Listening-socket factory with optional port-range confinement."""
+
+    def __init__(
+        self,
+        host: Host,
+        port_min: Optional[int] = None,
+        port_max: Optional[int] = None,
+    ) -> None:
+        if (port_min is None) != (port_max is None):
+            raise ValueError("set both TCP_MIN_PORT and TCP_MAX_PORT or neither")
+        if port_min is not None and port_min > port_max:  # type: ignore[operator]
+            raise ValueError(f"empty port range {port_min}..{port_max}")
+        self.host = host
+        self.port_min = port_min
+        self.port_max = port_max
+
+    @property
+    def confined(self) -> bool:
+        return self.port_min is not None
+
+    @property
+    def range_width(self) -> int:
+        """How many concurrent endpoints the range can sustain."""
+        if not self.confined:
+            return 0
+        assert self.port_min is not None and self.port_max is not None
+        return self.port_max - self.port_min + 1
+
+    def listen(self, backlog: int = 128) -> ListenSocket:
+        """Bind a listening socket (inside the range when confined)."""
+        if not self.confined:
+            return self.host.listen(backlog=backlog)
+        assert self.port_min is not None and self.port_max is not None
+        for port in range(self.port_min, self.port_max + 1):
+            if not self.host.is_listening(port):
+                try:
+                    return self.host.listen(port, backlog=backlog)
+                except SocketError:  # pragma: no cover - racing binds
+                    continue
+        raise PortRangeExhausted(
+            f"{self.host.name}: all {self.range_width} ports in "
+            f"{self.port_min}..{self.port_max} are bound"
+        )
+
+    def open_firewall_range(self) -> None:
+        """Open the inbound range on this host's site firewall — the
+        Globus 1.1 deployment step (and its security cost: the range is
+        open to *any* source)."""
+        if not self.confined:
+            raise ValueError("no port range configured")
+        site = self.host.site
+        if site is None or site.firewall is None:
+            return
+        assert self.port_min is not None and self.port_max is not None
+        site.firewall.open_port_range(
+            self.port_min, self.port_max,
+            comment=f"TCP_MIN_PORT..TCP_MAX_PORT for {self.host.name}",
+        )

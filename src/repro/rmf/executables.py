@@ -1,0 +1,123 @@
+"""The executable registry: what Q servers can run.
+
+The testbed's jobs were real binaries; in the simulation an
+"executable" is a registered generator function run as a simulated
+process on the resource host.  It receives an
+:class:`ExecutionContext` (host, arguments, staged files, stdout) and
+returns an exit code (``None`` ⇒ 0).
+
+A default registry ships with the coreutils of the simulated world
+(``echo``, ``sleep``, ``spin``, ``cat``) used by tests and examples;
+applications register their own (the knapsack driver registers
+``knapsack``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.rmf.gass import FileStore
+from repro.rmf.jobs import JobSpec, RMFError
+from repro.simnet.host import Host
+from repro.simnet.kernel import Event
+
+__all__ = ["ExecutionContext", "ExecutableRegistry", "default_registry"]
+
+ExecutableFn = Callable[["ExecutionContext"], Iterator[Event]]
+
+
+class ExecutionContext:
+    """Everything an executable sees while running."""
+
+    def __init__(
+        self,
+        host: Host,
+        spec: JobSpec,
+        files: FileStore,
+        job_id: int,
+        nprocs: int,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.spec = spec
+        #: The resource host's file store (staged-in files live here).
+        self.files = files
+        self.job_id = job_id
+        #: Processes granted to this (sub-)job on this resource.
+        self.nprocs = nprocs
+        self._stdout: list[str] = []
+
+    @property
+    def args(self) -> tuple[str, ...]:
+        return self.spec.arguments
+
+    def write(self, text: str) -> None:
+        """Append to the job's stdout."""
+        self._stdout.append(text)
+
+    def stdout(self) -> str:
+        return "".join(self._stdout)
+
+
+class ExecutableRegistry:
+    """Name → executable mapping, per deployment."""
+
+    def __init__(self) -> None:
+        self._fns: dict[str, ExecutableFn] = {}
+
+    def register(self, name: str, fn: ExecutableFn) -> None:
+        if not name:
+            raise RMFError("executable needs a name")
+        if name in self._fns:
+            raise RMFError(f"executable {name!r} already registered")
+        self._fns[name] = fn
+
+    def get(self, name: str) -> ExecutableFn:
+        try:
+            return self._fns[name]
+        except KeyError:
+            raise RMFError(f"no such executable: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fns
+
+    def names(self) -> list[str]:
+        return sorted(self._fns)
+
+
+def _echo(ctx: ExecutionContext) -> Iterator[Event]:
+    ctx.write(" ".join(ctx.args) + "\n")
+    yield ctx.sim.timeout(0)
+
+
+def _sleep(ctx: ExecutionContext) -> Iterator[Event]:
+    seconds = float(ctx.args[0]) if ctx.args else 1.0
+    yield ctx.sim.timeout(seconds)
+
+
+def _spin(ctx: ExecutionContext) -> Iterator[Event]:
+    """Burn reference-CPU seconds (scaled by the host's speed)."""
+    cost = float(ctx.args[0]) if ctx.args else 1.0
+    yield ctx.host.compute(cost)
+
+
+def _cat(ctx: ExecutionContext) -> Iterator[Event]:
+    for name in ctx.args:
+        ctx.write(ctx.files.get_text(name))
+    yield ctx.sim.timeout(0)
+
+
+def _false(ctx: ExecutionContext) -> Iterator[Event]:
+    yield ctx.sim.timeout(0)
+    return 1
+
+
+def default_registry() -> ExecutableRegistry:
+    """A registry pre-loaded with the simulated coreutils."""
+    reg = ExecutableRegistry()
+    reg.register("echo", _echo)
+    reg.register("sleep", _sleep)
+    reg.register("spin", _spin)
+    reg.register("cat", _cat)
+    reg.register("false", _false)
+    return reg

@@ -1,0 +1,81 @@
+"""GASS-style file staging.
+
+"Since the Globus GASS facility uses files for input/output, the Q
+system also transfers the files to remote resources" (§2).  We model
+that with a per-host :class:`FileStore` and explicit staging: input
+files travel with the job submission, output files travel back with
+the completion message — both as sized payloads on the simulated wire,
+so staging cost is part of job turnaround time just as it was on the
+testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.rmf.jobs import RMFError
+
+__all__ = ["FileStore", "StagingError"]
+
+
+class StagingError(RMFError):
+    """A staged file was missing or collided."""
+
+
+class FileStore:
+    """A host-local file namespace (the GASS cache)."""
+
+    def __init__(self, host_name: str) -> None:
+        self.host_name = host_name
+        self._files: dict[str, bytes] = {}
+
+    def put(self, name: str, content: "bytes | str") -> None:
+        """Store a file (str content is encoded UTF-8)."""
+        if not name:
+            raise StagingError("file needs a name")
+        if isinstance(content, str):
+            content = content.encode()
+        self._files[name] = bytes(content)
+
+    def get(self, name: str) -> bytes:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StagingError(f"{self.host_name}: no such file {name!r}") from None
+
+    def get_text(self, name: str) -> str:
+        return self.get(name).decode()
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def size(self, name: str) -> int:
+        return len(self.get(name))
+
+    def names(self) -> list[str]:
+        return sorted(self._files)
+
+    # -- staging bundles ------------------------------------------------------
+
+    def bundle(self, names: Iterable[str]) -> dict[str, bytes]:
+        """Collect files for stage-in; raises if any is missing."""
+        return {name: self.get(name) for name in names}
+
+    def unbundle(self, files: Mapping[str, bytes]) -> None:
+        """Install a staged-in bundle."""
+        for name, content in files.items():
+            self.put(name, content)
+
+    @staticmethod
+    def bundle_bytes(files: Mapping[str, bytes]) -> int:
+        """Wire size of a staging bundle (content + per-file header)."""
+        return sum(len(c) + 64 for c in files.values())
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FileStore {self.host_name}: {len(self._files)} files>"

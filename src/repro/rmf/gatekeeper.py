@@ -1,0 +1,300 @@
+"""The RMF-type GRAM gatekeeper and job manager (outside the firewall).
+
+Fig. 2's six-step flow:
+
+0. the gatekeeper runs outside the firewall; the allocator runs
+   inside; a Q server runs on every computing resource;
+1. a job request (RSL + credential subject) is submitted to the
+   gatekeeper;
+2. the gatekeeper authenticates it against its gridmap and forks a
+   *job manager*, which creates a Q client;
+3. the Q client asks the resource allocator which resources to use;
+4. the allocator answers with assignments;
+5. the Q client submits sub-job requests to the chosen Q servers
+   (staging input files along, GASS-style);
+6. each Q server queues and runs the job processes; results flow back
+   through the Q client and gatekeeper to the submitter.
+
+:class:`RMFSystem` wires a whole deployment — daemons plus the two
+firewall pinholes RMF needs (§2: "the firewall must be configured to
+allow communications between the Q client and the resource allocator,
+and the Q client and the Q server").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.rmf.allocator import (
+    DEFAULT_ALLOCATOR_PORT,
+    AllocReply,
+    AllocRequest,
+    ResourceAllocator,
+)
+from repro.rmf.executables import ExecutableRegistry, default_registry
+from repro.rmf.gass import FileStore
+from repro.rmf.jobs import JobResult, JobSpec, JobState, RMFError
+from repro.rmf.qsystem import DEFAULT_QSERVER_PORT, QClient, QServer
+from repro.rmf.rsl import parse_rsl
+from repro.simnet.host import Host
+from repro.simnet.kernel import AllOf, Event
+from repro.simnet.socket import Connection, ConnectionReset, ListenSocket, SocketError
+
+__all__ = [
+    "GramRequest",
+    "GramReply",
+    "Gatekeeper",
+    "RMFSystem",
+    "DEFAULT_GATEKEEPER_PORT",
+    "submit_job",
+]
+
+DEFAULT_GATEKEEPER_PORT = 2119
+_CTRL_BYTES = 256
+
+
+@dataclass(frozen=True, slots=True)
+class GramRequest:
+    """What a submitting client sends: RSL text plus a credential."""
+
+    rsl: str
+    subject: str
+
+
+@dataclass(frozen=True, slots=True)
+class GramReply:
+    ok: bool
+    results: tuple[JobResult, ...] = ()
+    error: Optional[str] = None
+
+    @property
+    def stdout(self) -> str:
+        return "".join(r.stdout for r in self.results)
+
+    @property
+    def all_succeeded(self) -> bool:
+        return self.ok and all(r.ok for r in self.results)
+
+
+class Gatekeeper:
+    """The GRAM entry point for an RMF deployment."""
+
+    def __init__(
+        self,
+        host: Host,
+        allocator_addr: tuple[str, int],
+        port: int = DEFAULT_GATEKEEPER_PORT,
+        gridmap: Optional[dict[str, str]] = None,
+        staging: Optional[FileStore] = None,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.port = port
+        self.allocator_addr = allocator_addr
+        #: Credential subject → local user.  Empty map = open access
+        #: (convenient for tests; real sites always populate it).
+        self.gridmap = gridmap
+        #: GASS cache on the gatekeeper host; stage-in files are read
+        #: from here and stage-out files land here.
+        self.staging = staging if staging is not None else FileStore(host.name)
+        self._sock: Optional[ListenSocket] = None
+        self.requests_handled = 0
+        self.auth_failures = 0
+
+    @property
+    def addr(self) -> tuple[str, int]:
+        return (self.host.name, self.port)
+
+    @property
+    def running(self) -> bool:
+        return self._sock is not None and not self._sock.closed
+
+    def start(self) -> "Gatekeeper":
+        if self.running:
+            raise RMFError(f"gatekeeper on {self.host.name} already running")
+        self._sock = self.host.listen(self.port)
+        self.sim.process(self._accept_loop(), name=f"gatekeeper@{self.host.name}")
+        return self
+
+    def stop(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+
+    def authenticate(self, subject: str) -> bool:
+        if self.gridmap is None:
+            return True
+        return subject in self.gridmap
+
+    # -- request handling ------------------------------------------------------
+
+    def _accept_loop(self) -> Iterator[Event]:
+        assert self._sock is not None
+        while True:
+            try:
+                conn = yield self._sock.accept()
+            except SocketError:
+                return
+            # "The job manager invoked by the gatekeeper" — one forked
+            # process per request.
+            self.sim.process(
+                self._job_manager(conn), name=f"job-manager@{self.host.name}"
+            )
+
+    def _job_manager(self, conn: Connection) -> Iterator[Event]:
+        try:
+            msg = yield conn.recv()
+        except ConnectionReset:
+            return
+        request = msg.payload
+        if not isinstance(request, GramRequest):
+            yield conn.send(
+                GramReply(ok=False, error="malformed request"), nbytes=_CTRL_BYTES
+            )
+            conn.close()
+            return
+        self.requests_handled += 1
+        if not self.authenticate(request.subject):
+            self.auth_failures += 1
+            yield conn.send(
+                GramReply(ok=False, error=f"authentication failed for {request.subject!r}"),
+                nbytes=_CTRL_BYTES,
+            )
+            conn.close()
+            return
+        try:
+            spec = parse_rsl(request.rsl)
+        except RMFError as exc:
+            yield conn.send(GramReply(ok=False, error=str(exc)), nbytes=_CTRL_BYTES)
+            conn.close()
+            return
+        try:
+            results = yield from self._run_via_qsystem(spec)
+        except RMFError as exc:
+            yield conn.send(GramReply(ok=False, error=str(exc)), nbytes=_CTRL_BYTES)
+            conn.close()
+            return
+        reply = GramReply(ok=True, results=tuple(results))
+        out_bytes = sum(FileStore.bundle_bytes(r.output_files) for r in results)
+        yield conn.send(reply, nbytes=_CTRL_BYTES + out_bytes)
+        conn.close()
+
+    def _run_via_qsystem(self, spec: JobSpec) -> Iterator[Event]:
+        """Steps 3–6: allocator inquiry, sub-job fan-out, collection."""
+        qclient = QClient(self.host, staging=self.staging)
+        # Step 3–4: ask the allocator.
+        alloc_conn = yield from self.host.connect(self.allocator_addr)
+        yield alloc_conn.send(AllocRequest(spec), nbytes=_CTRL_BYTES)
+        try:
+            reply_msg = yield alloc_conn.recv()
+        except ConnectionReset:
+            raise RMFError("allocator dropped the connection")
+        alloc_reply: AllocReply = reply_msg.payload
+        alloc_conn.close()
+        if not alloc_reply.ok:
+            raise RMFError(f"allocation failed: {alloc_reply.error}")
+        # Step 5: submit sub-jobs concurrently, one per resource.
+        subs = [
+            self.sim.process(
+                qclient.submit((a.host, a.port), spec, nprocs=a.nprocs),
+                name=f"qclient->{a.resource}",
+            )
+            for a in alloc_reply.assignments
+        ]
+        gathered = yield AllOf(self.sim, subs)
+        return [gathered[p] for p in subs]
+
+
+def submit_job(
+    client_host: Host,
+    gatekeeper_addr: tuple[str, int],
+    rsl: str,
+    subject: str = "anonymous",
+) -> Iterator[Event]:
+    """Generator: submit an RSL request and return the
+    :class:`GramReply` (step 1 of the flow, from the user's side)."""
+    conn = yield from client_host.connect(gatekeeper_addr)
+    yield conn.send(GramRequest(rsl, subject), nbytes=_CTRL_BYTES + len(rsl))
+    try:
+        msg = yield conn.recv()
+    except ConnectionReset:
+        raise RMFError(f"gatekeeper {gatekeeper_addr} dropped the connection")
+    conn.close()
+    reply = msg.payload
+    if not isinstance(reply, GramReply):
+        raise RMFError(f"unexpected gatekeeper reply: {reply!r}")
+    return reply
+
+
+class RMFSystem:
+    """A fully wired RMF deployment.
+
+    Construct with the gatekeeper host (outside the firewall) and the
+    allocator host (inside); add resources with :meth:`add_resource`;
+    call :meth:`start`.  Firewall pinholes for the allocator and each
+    Q server are opened automatically, pinned to the gatekeeper host —
+    the minimal configuration §2 requires.
+    """
+
+    def __init__(
+        self,
+        gatekeeper_host: Host,
+        allocator_host: Host,
+        registry: Optional[ExecutableRegistry] = None,
+        gridmap: Optional[dict[str, str]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.allocator = ResourceAllocator(allocator_host)
+        self.gatekeeper = Gatekeeper(
+            gatekeeper_host, self.allocator.addr, gridmap=gridmap
+        )
+        self.qservers: list[QServer] = []
+        self._open_pinhole(allocator_host, DEFAULT_ALLOCATOR_PORT)
+
+    def _open_pinhole(self, host: Host, port: int) -> None:
+        site = host.site
+        if site is not None and site.firewall is not None:
+            site.firewall.open_inbound_port(
+                port,
+                src_host=self.gatekeeper.host.name,
+                dst_host=host.name,
+                comment=f"RMF: gatekeeper -> {host.name}:{port}",
+            )
+
+    def add_resource(
+        self,
+        host: Host,
+        name: Optional[str] = None,
+        cpus: Optional[int] = None,
+        slots: int = 1,
+    ) -> QServer:
+        qs = QServer(
+            host,
+            resource_name=name,
+            registry=self.registry,
+            slots=slots,
+            cpus=cpus,
+        )
+        self.qservers.append(qs)
+        self.allocator.add_resource(
+            qs.resource_name, host.name, qs.port, qs.cpus, host.cpu_speed
+        )
+        self._open_pinhole(host, qs.port)
+        return qs
+
+    def start(self) -> "RMFSystem":
+        self.allocator.start()
+        self.gatekeeper.start()
+        for qs in self.qservers:
+            qs.start()
+        return self
+
+    def stop(self) -> None:
+        self.gatekeeper.stop()
+        self.allocator.stop()
+        for qs in self.qservers:
+            qs.stop()
+
+    def submit(self, client_host: Host, rsl: str, subject: str = "anonymous"):
+        """Generator: submit through the gatekeeper (convenience)."""
+        return submit_job(client_host, self.gatekeeper.addr, rsl, subject)

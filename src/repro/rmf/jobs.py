@@ -1,0 +1,133 @@
+"""Job model: specifications, states, records.
+
+A :class:`JobSpec` is what flows from the submitting client through the
+gatekeeper, job manager and Q client to a Q server; a :class:`JobRecord`
+is the server-side lifecycle bookkeeping.  States follow the GRAM
+model: PENDING → ACTIVE → DONE/FAILED.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["JobState", "JobSpec", "JobRecord", "JobResult", "RMFError"]
+
+
+class RMFError(RuntimeError):
+    """Failure inside the RMF resource-management system."""
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    ACTIVE = "active"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+_job_ids = itertools.count(1)
+
+
+def next_job_id() -> int:
+    return next(_job_ids)
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """What the user asks to run (parsed from RSL).
+
+    ``executable`` names an entry in the deployment's executable
+    registry; ``count`` is the number of processes; ``resource`` may
+    pin a specific resource, otherwise the allocator chooses.
+    """
+
+    executable: str
+    count: int = 1
+    arguments: tuple[str, ...] = ()
+    resource: Optional[str] = None
+    stage_in: tuple[str, ...] = ()
+    stage_out: tuple[str, ...] = ()
+    #: Soft CPU-seconds estimate, used by the allocator for load.
+    max_time: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.executable:
+            raise RMFError("job needs an executable")
+        if self.count < 1:
+            raise RMFError(f"count must be >= 1, got {self.count}")
+        if self.max_time <= 0:
+            raise RMFError(f"max_time must be positive, got {self.max_time}")
+
+
+@dataclass(frozen=True, slots=True)
+class JobResult:
+    """What comes back to the submitter."""
+
+    job_id: int
+    state: JobState
+    exit_code: int
+    stdout: str = ""
+    error: Optional[str] = None
+    output_files: dict[str, bytes] = field(default_factory=dict)
+    resource: str = ""
+    queued_time: float = 0.0
+    run_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.state is JobState.DONE and self.exit_code == 0
+
+
+@dataclass
+class JobRecord:
+    """Server-side lifecycle of one job."""
+
+    job_id: int
+    spec: JobSpec
+    state: JobState = JobState.PENDING
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    exit_code: Optional[int] = None
+    stdout: str = ""
+    error: Optional[str] = None
+
+    def mark_active(self, now: float) -> None:
+        if self.state is not JobState.PENDING:
+            raise RMFError(f"job {self.job_id}: bad transition {self.state}->ACTIVE")
+        self.state = JobState.ACTIVE
+        self.started_at = now
+
+    def mark_done(self, now: float, exit_code: int, stdout: str) -> None:
+        if self.state is not JobState.ACTIVE:
+            raise RMFError(f"job {self.job_id}: bad transition {self.state}->DONE")
+        self.state = JobState.DONE
+        self.finished_at = now
+        self.exit_code = exit_code
+        self.stdout = stdout
+
+    def mark_failed(self, now: float, error: str) -> None:
+        if self.state.terminal:
+            raise RMFError(f"job {self.job_id}: already terminal ({self.state})")
+        self.state = JobState.FAILED
+        self.finished_at = now
+        self.exit_code = self.exit_code if self.exit_code is not None else 1
+        self.error = error
+
+    @property
+    def queued_time(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_time(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at

@@ -1,0 +1,239 @@
+"""Firewall model: per-site connection filtering.
+
+The paper (§1) assumes the configuration it calls "most typical":
+
+* **deny-based** for *incoming* packets — everything inbound is denied
+  unless a rule opens it, and
+* **allow-based** for *outgoing* packets — everything outbound passes
+  unless a rule closes it.
+
+:func:`Firewall.typical` builds exactly that.  Rules are first-match-
+wins over (direction, source host/site, destination port range), which
+is enough to express every configuration the paper discusses:
+
+* opening the single *nxport* from the outer server to the inner
+  server (§3: "only the communication port from the outer server to
+  the inner server must be opened in advance");
+* the Globus 1.1 workaround of opening a whole ``TCP_MIN_PORT`` –
+  ``TCP_MAX_PORT`` range (§1), reproduced by
+  :meth:`Firewall.open_port_range`;
+* temporarily disabling filtering for the "direct" baseline
+  measurements (§4.2 footnote), via :meth:`Firewall.allow_everything`.
+
+A deny-based firewall *drops* offending SYNs rather than rejecting
+them, so a blocked connect manifests as a timeout; the simulated socket
+layer honours that (see :mod:`repro.simnet.socket`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Action", "Direction", "Rule", "Firewall", "FirewallBlocked"]
+
+
+class Action(enum.Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+class Direction(enum.Enum):
+    INBOUND = "inbound"
+    OUTBOUND = "outbound"
+
+
+class FirewallBlocked(ConnectionError):
+    """A connection attempt was filtered by a firewall.
+
+    Raised immediately by firewalls configured to *reject*; for the
+    (default, realistic) *drop* behaviour the socket layer raises this
+    only after the connect timeout expires.
+    """
+
+    def __init__(self, message: str, silent_drop: bool = True) -> None:
+        super().__init__(message)
+        self.silent_drop = silent_drop
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One filter rule; ``None`` fields are wildcards."""
+
+    direction: Direction
+    action: Action
+    port_min: Optional[int] = None
+    port_max: Optional[int] = None
+    src_host: Optional[str] = None
+    dst_host: Optional[str] = None
+    comment: str = ""
+
+    def matches(
+        self, direction: Direction, src_host: str, dst_host: str, dst_port: int
+    ) -> bool:
+        if direction is not self.direction:
+            return False
+        if self.port_min is not None and dst_port < self.port_min:
+            return False
+        if self.port_max is not None and dst_port > self.port_max:
+            return False
+        if self.src_host is not None and src_host != self.src_host:
+            return False
+        if self.dst_host is not None and dst_host != self.dst_host:
+            return False
+        return True
+
+
+class Firewall:
+    """First-match-wins rule table with per-direction defaults."""
+
+    def __init__(
+        self,
+        inbound_default: Action = Action.DENY,
+        outbound_default: Action = Action.ALLOW,
+        name: str = "",
+        reject: bool = False,
+    ) -> None:
+        self.name = name
+        self.inbound_default = inbound_default
+        self.outbound_default = outbound_default
+        #: If True, blocked connects fail fast (TCP RST style) instead
+        #: of being dropped silently.  Real deny-based firewalls drop.
+        self.reject = reject
+        self.rules: list[Rule] = []
+        #: Count of filtered (denied) connection attempts, per direction.
+        self.denied: dict[Direction, int] = {
+            Direction.INBOUND: 0,
+            Direction.OUTBOUND: 0,
+        }
+
+    # -- construction helpers ------------------------------------------
+
+    @classmethod
+    def typical(cls, name: str = "", reject: bool = False) -> "Firewall":
+        """The paper's assumed configuration: deny-in, allow-out."""
+        return cls(Action.DENY, Action.ALLOW, name=name, reject=reject)
+
+    @classmethod
+    def open_everything(cls, name: str = "") -> "Firewall":
+        """A firewall that filters nothing (sites without one)."""
+        return cls(Action.ALLOW, Action.ALLOW, name=name)
+
+    def allow_everything(self) -> None:
+        """Temporarily disable filtering (the §4.2 direct baselines)."""
+        self.inbound_default = Action.ALLOW
+        self.outbound_default = Action.ALLOW
+
+    def restore_typical(self) -> None:
+        self.inbound_default = Action.DENY
+        self.outbound_default = Action.ALLOW
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def open_inbound_port(
+        self,
+        port: int,
+        src_host: Optional[str] = None,
+        dst_host: Optional[str] = None,
+        comment: str = "",
+    ) -> None:
+        """Open a single inbound port, optionally pinned to one peer.
+
+        This is how the *nxport* is opened: pinned to the outer server
+        as source and the inner server as destination, the narrowest
+        hole the mechanism needs.
+        """
+        self.add_rule(
+            Rule(
+                Direction.INBOUND,
+                Action.ALLOW,
+                port_min=port,
+                port_max=port,
+                src_host=src_host,
+                dst_host=dst_host,
+                comment=comment,
+            )
+        )
+
+    def open_port_range(self, port_min: int, port_max: int, comment: str = "") -> None:
+        """Open an inbound port range (the Globus 1.1 TCP_MIN/MAX_PORT
+        workaround the paper argues against)."""
+        if port_min > port_max:
+            raise ValueError(f"empty port range {port_min}..{port_max}")
+        self.add_rule(
+            Rule(
+                Direction.INBOUND,
+                Action.ALLOW,
+                port_min=port_min,
+                port_max=port_max,
+                comment=comment,
+            )
+        )
+
+    def close_outbound_port(self, port: int, comment: str = "") -> None:
+        self.add_rule(
+            Rule(
+                Direction.OUTBOUND,
+                Action.DENY,
+                port_min=port,
+                port_max=port,
+                comment=comment,
+            )
+        )
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(
+        self, direction: Direction, src_host: str, dst_host: str, dst_port: int
+    ) -> Action:
+        """First matching rule wins; otherwise the direction default."""
+        for rule in self.rules:
+            if rule.matches(direction, src_host, dst_host, dst_port):
+                return rule.action
+        return (
+            self.inbound_default
+            if direction is Direction.INBOUND
+            else self.outbound_default
+        )
+
+    def permits(
+        self, direction: Direction, src_host: str, dst_host: str, dst_port: int
+    ) -> bool:
+        action = self.evaluate(direction, src_host, dst_host, dst_port)
+        if action is Action.DENY:
+            self.denied[direction] += 1
+            return False
+        return True
+
+    def open_inbound_ports(self) -> list[tuple[int, int]]:
+        """The inbound holes currently configured — the paper's security
+        argument is about keeping this list minimal."""
+        spans: list[tuple[int, int]] = []
+        for rule in self.rules:
+            if rule.direction is Direction.INBOUND and rule.action is Action.ALLOW:
+                lo = rule.port_min if rule.port_min is not None else 1
+                hi = rule.port_max if rule.port_max is not None else 65535
+                spans.append((lo, hi))
+        if self.inbound_default is Action.ALLOW:
+            spans.append((1, 65535))
+        return spans
+
+    def exposure(self) -> int:
+        """Number of distinct inbound ports reachable from outside.
+
+        The quantitative handle for the paper's security claim: the
+        Nexus Proxy needs exposure 1 (the nxport); the Globus 1.1
+        port-range workaround needs one port per concurrent endpoint.
+        """
+        open_ports: set[int] = set()
+        for lo, hi in self.open_inbound_ports():
+            open_ports.update(range(lo, hi + 1))
+        return len(open_ports)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Firewall {self.name!r} in={self.inbound_default.value} "
+            f"out={self.outbound_default.value} rules={len(self.rules)}>"
+        )

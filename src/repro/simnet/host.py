@@ -1,0 +1,194 @@
+"""Simulated hosts: named machines with CPUs and a port namespace.
+
+A :class:`Host` is where processes "run".  Its two performance-relevant
+attributes are ``cpu_speed`` (a dimensionless factor relative to the
+calibration machine — the paper's RWCP-Sun, on which the sequential
+knapsack baseline ran) and ``cores`` (how many simultaneous
+compute-bound processes it sustains; COMPaS nodes are quad Pentium Pro
+SMPs, ETL-O2K is a 16-CPU Origin 2000).
+
+Hosts expose the user-facing socket API (:meth:`listen`,
+:meth:`connect`) and the CPU cost model (:meth:`compute`,
+:meth:`execute`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.simnet.kernel import Event, SimError, Simulator
+from repro.simnet.primitives import Resource
+from repro.simnet.socket import (
+    Address,
+    Connection,
+    ListenSocket,
+    SocketError,
+    open_connection,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.topology import Network, Site
+
+__all__ = ["Host"]
+
+#: First port handed out by the ephemeral allocator (IANA convention).
+EPHEMERAL_BASE = 49152
+#: Highest usable port number.
+PORT_MAX = 65535
+
+
+class Host:
+    """A machine attached to a :class:`~repro.simnet.topology.Network`."""
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str,
+        site: Optional["Site"] = None,
+        cpu_speed: float = 1.0,
+        cores: int = 1,
+    ) -> None:
+        if cpu_speed <= 0:
+            raise SimError(f"cpu_speed must be positive, got {cpu_speed}")
+        if cores <= 0:
+            raise SimError(f"cores must be positive, got {cores}")
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.name = name
+        self.site = site
+        #: Relative CPU speed (1.0 == the calibration machine).
+        self.cpu_speed = cpu_speed
+        self.cores = cores
+        #: Shared-CPU resource for workloads that contend for cores.
+        self.cpu = Resource(self.sim, capacity=cores)
+        self._ports: dict[int, ListenSocket] = {}
+        self._next_ephemeral = EPHEMERAL_BASE
+        #: Open connections with an endpoint on this host (for crash
+        #: teardown and utilization reporting).
+        self.connections: list[Connection] = []
+        #: Whether the machine is down (see :meth:`crash`).
+        self.crashed = False
+        #: Accumulated busy time of core-occupying work (execute()).
+        self.cpu_busy_time = 0.0
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def site_name(self) -> Optional[str]:
+        return self.site.name if self.site is not None else None
+
+    # -- sockets -----------------------------------------------------------
+
+    def listen(self, port: Optional[int] = None, backlog: int = 128) -> ListenSocket:
+        """Bind and listen; ``port=None`` picks an ephemeral port.
+
+        This is the plain `bind()`/`listen()` — note that *reachability*
+        of the port from outside the firewall is a separate question,
+        which is the paper's whole point.
+        """
+        if port is None:
+            port = self._ephemeral_port()
+        elif port in self._ports and not self._ports[port].closed:
+            raise SocketError(f"{self.name}: port {port} already bound")
+        elif not (1 <= port <= PORT_MAX):
+            raise SocketError(f"invalid port {port}")
+        sock = ListenSocket(self, port, backlog=backlog)
+        self._ports[port] = sock
+        return sock
+
+    def connect(
+        self,
+        addr: "Address | tuple[str, int]",
+        timeout: Optional[float] = None,
+    ) -> Iterator[Event]:
+        """Generator: ``conn = yield from host.connect(addr)``."""
+        if isinstance(addr, tuple):
+            addr = Address(*addr)
+        return (yield from open_connection(self.network, self, addr, timeout))
+
+    def _ephemeral_port(self) -> int:
+        while self._next_ephemeral in self._ports:
+            self._next_ephemeral += 1
+        if self._next_ephemeral > PORT_MAX:
+            raise SocketError(f"{self.name}: ephemeral ports exhausted")
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def _unbind(self, port: int, sock: ListenSocket) -> None:
+        if self._ports.get(port) is sock:
+            del self._ports[port]
+
+    def is_listening(self, port: int) -> bool:
+        sock = self._ports.get(port)
+        return sock is not None and not sock.closed
+
+    # -- CPU model ---------------------------------------------------------
+
+    def compute(self, cost: float) -> Event:
+        """Event firing after ``cost`` seconds of *reference-machine*
+        work on a dedicated core (scaled by this host's speed)."""
+        if cost < 0:
+            raise SimError(f"negative compute cost: {cost}")
+        return self.sim.timeout(cost / self.cpu_speed)
+
+    def execute(self, cost: float) -> Iterator[Event]:
+        """Generator: like :meth:`compute` but contending for a core."""
+        yield self.cpu.request()
+        try:
+            duration = cost / self.cpu_speed
+            yield self.sim.timeout(duration)
+            self.cpu_busy_time += duration
+        finally:
+            self.cpu.release()
+
+    def cpu_utilization(self) -> float:
+        """Fraction of elapsed time × cores spent in :meth:`execute`."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.cpu_busy_time / (self.sim.now * self.cores)
+
+    # -- failure injection ----------------------------------------------------
+
+    def crash(self) -> None:
+        """The machine dies: every listener and connection is torn
+        down; incoming SYNs vanish until :meth:`recover` (and new
+        daemons) bring the host back.
+
+        Processes "running on" the host are not magically stopped (the
+        simulator has no process-host binding); daemons observe the
+        crash through their sockets failing, exactly like a remote
+        peer would.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        for sock in list(self._ports.values()):
+            sock.close()
+        for conn in self.connections:
+            if not conn.closed:
+                conn.closed = True
+                conn._rx.close()
+                peer = conn.peer
+                # The peer learns after a propagation delay (its next
+                # probe elicits a RST); in-flight data is lost.
+                if peer is not None and not peer.closed:
+                    self.sim.process(
+                        self._reset_peer(peer), name=f"rst<-{self.name}"
+                    )
+        self.connections.clear()
+
+    def _reset_peer(self, peer: "Connection") -> Iterator[Event]:
+        delay = sum(l.latency for l in peer.tx_path) or 1e-6
+        yield self.sim.timeout(delay)
+        if not peer.closed:
+            peer.closed = True
+            peer._rx.close()
+
+    def recover(self) -> None:
+        """Power back on (with empty port and connection tables)."""
+        self.crashed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        site = f" site={self.site_name}" if self.site is not None else ""
+        return f"<Host {self.name}{site} speed={self.cpu_speed} cores={self.cores}>"

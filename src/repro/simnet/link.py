@@ -1,0 +1,123 @@
+"""Network links: latency + bandwidth pipes with store-and-forward.
+
+A :class:`Link` is *unidirectional*: serialization occupies the link's
+transmitter (a FIFO :class:`~repro.simnet.primitives.Resource`) for
+``nbytes / bandwidth`` seconds, after which the frame propagates for
+``latency`` seconds without occupying the transmitter.  That separation
+is what lets back-to-back segments pipeline: the second segment starts
+serializing while the first is still in flight — exactly the behaviour
+that makes the Nexus Proxy overhead "negligible for large messages"
+(paper §4.2) once per-chunk costs are amortized.
+
+:class:`DuplexLink` bundles the two directions of a full-duplex cable
+(100Base-T, the 1.5 Mbps IMNet) so each direction contends only with
+itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.simnet.kernel import Event, SimError, Simulator
+from repro.simnet.primitives import Resource
+
+__all__ = ["Link", "DuplexLink"]
+
+
+class Link:
+    """One direction of a point-to-point link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float,
+        bandwidth: float,
+        name: str = "",
+    ) -> None:
+        if latency < 0:
+            raise SimError(f"negative latency: {latency}")
+        if bandwidth <= 0:
+            raise SimError(f"bandwidth must be positive: {bandwidth}")
+        self.sim = sim
+        #: One-way propagation delay in seconds.
+        self.latency = latency
+        #: Serialization rate in bytes/second.
+        self.bandwidth = bandwidth
+        self.name = name
+        self._tx = Resource(sim, capacity=1)
+        #: Total bytes ever serialized onto this link (for utilization).
+        self.bytes_sent = 0
+        #: Total frames transmitted.
+        self.frames_sent = 0
+        #: Accumulated busy time of the transmitter.
+        self.busy_time = 0.0
+
+    def serialization_time(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth
+
+    def transmit(self, nbytes: int) -> Iterator[Event]:
+        """Generator: carry ``nbytes`` across the link.
+
+        Yields from a process context.  Returns (to the caller's
+        ``yield from``) once the frame has fully *arrived* at the far
+        end, i.e. after queueing + serialization + propagation.
+        """
+        if nbytes < 0:
+            raise SimError(f"negative frame size: {nbytes}")
+        yield self._tx.request()
+        try:
+            tx_time = self.serialization_time(nbytes)
+            yield self.sim.timeout(tx_time)
+            self.bytes_sent += nbytes
+            self.frames_sent += 1
+            self.busy_time += tx_time
+        finally:
+            self._tx.release()
+        if self.latency > 0:
+            yield self.sim.timeout(self.latency)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the transmitter was busy."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.busy_time / self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.name or hex(id(self))} "
+            f"lat={self.latency * 1e3:.3f}ms bw={self.bandwidth / 1e6:.2f}MB/s>"
+        )
+
+
+class DuplexLink:
+    """A full-duplex cable between two attachment points.
+
+    ``forward`` carries traffic A→B, ``reverse`` B→A; they share the
+    nominal latency/bandwidth figures but have independent
+    transmitters.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float,
+        bandwidth: float,
+        name: str = "",
+    ) -> None:
+        self.name = name
+        self.forward = Link(sim, latency, bandwidth, name=f"{name}:fwd")
+        self.reverse = Link(sim, latency, bandwidth, name=f"{name}:rev")
+
+    @property
+    def latency(self) -> float:
+        return self.forward.latency
+
+    @property
+    def bandwidth(self) -> float:
+        return self.forward.bandwidth
+
+    def direction(self, a_to_b: bool) -> Link:
+        return self.forward if a_to_b else self.reverse
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DuplexLink {self.name} {self.forward!r}>"

@@ -1,0 +1,74 @@
+"""Event tracing for simulated runs.
+
+A :class:`Tracer` collects ``(time, category, fields)`` records.  It is
+disabled by default; experiments that need packet- or connection-level
+detail (e.g. the relay ablations) enable the categories they care
+about.  Keeping this in one place means benchmarks never reach into
+simulator internals to observe behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    fields: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Tracer:
+    """Category-filtered trace sink.
+
+    ``enable("connect", "deliver")`` turns on those categories;
+    ``enable_all()`` records everything.  ``emit`` is a no-op for
+    disabled categories, so tracing costs nothing when off.
+    """
+
+    def __init__(self) -> None:
+        self._enabled: set[str] = set()
+        self._all = False
+        self.records: list[TraceRecord] = []
+
+    def enable(self, *categories: str) -> None:
+        self._enabled.update(categories)
+
+    def enable_all(self) -> None:
+        self._all = True
+
+    def disable(self, *categories: str) -> None:
+        for c in categories:
+            self._enabled.discard(c)
+
+    def is_enabled(self, category: str) -> bool:
+        return self._all or category in self._enabled
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        if self._all or category in self._enabled:
+            self.records.append(TraceRecord(time, category, fields))
+
+    def of(self, category: str) -> Iterator[TraceRecord]:
+        """Iterate records of one category, in time order."""
+        return (r for r in self.records if r.category == category)
+
+    def count(self, category: str) -> int:
+        return sum(1 for _ in self.of(category))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)

@@ -1,0 +1,40 @@
+"""Shared utilities: unit conversions, summary statistics, table rendering.
+
+These helpers are deliberately dependency-light; every other subpackage
+may import :mod:`repro.util` but :mod:`repro.util` imports nothing from
+the rest of the library.
+"""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    kbps,
+    mbps,
+    gbps,
+    bytes_per_sec,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+)
+from repro.util.stats import Summary, RunningStats, summarize
+from repro.util.tables import Table
+from repro.util.rng import make_rng
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "kbps",
+    "mbps",
+    "gbps",
+    "bytes_per_sec",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_time",
+    "Summary",
+    "RunningStats",
+    "summarize",
+    "Table",
+    "make_rng",
+]

@@ -1,0 +1,162 @@
+"""Summary statistics used throughout the evaluation harness.
+
+Tables 5 and 6 of the paper report, per cluster site, the *maximum*,
+*minimum* and *average* of a per-process quantity (steal requests,
+traversed nodes).  :class:`Summary` captures exactly that shape;
+:class:`RunningStats` is a Welford accumulator for streaming use inside
+the simulator (per-event costs, queue lengths) where storing every
+sample would be wasteful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Max / min / average / count of a sample, Table 5/6 style."""
+
+    maximum: float
+    minimum: float
+    average: float
+    count: int
+    total: float
+
+    def as_row(self, scale: float = 1.0, fmt: str = "{:.2f}") -> list[str]:
+        """Render ``[max, min, avg]`` strings, each divided by ``scale``.
+
+        Table 6 reports node counts "in billions"; pass ``scale=1e9``.
+        """
+        return [
+            fmt.format(self.maximum / scale),
+            fmt.format(self.minimum / scale),
+            fmt.format(self.average / scale),
+        ]
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    """Collapse ``samples`` into a :class:`Summary`.
+
+    Raises :class:`ValueError` on an empty sample, because an empty
+    max/min is a harness bug, not a measurement.
+    """
+    xs = list(samples)
+    if not xs:
+        raise ValueError("cannot summarize an empty sample")
+    total = math.fsum(xs)
+    return Summary(
+        maximum=max(xs),
+        minimum=min(xs),
+        average=total / len(xs),
+        count=len(xs),
+        total=total,
+    )
+
+
+class RunningStats:
+    """Streaming mean/variance/extrema (Welford's algorithm).
+
+    Numerically stable for long simulations; ``merge`` combines two
+    accumulators (used when per-worker stats are folded into a site
+    summary).
+    """
+
+    __slots__ = ("n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample in."""
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to seeing both streams."""
+        out = RunningStats()
+        if self.n == 0:
+            out.n, out._mean, out._m2 = other.n, other._mean, other._m2
+            out._min, out._max = other._min, other._max
+            return out
+        if other.n == 0:
+            out.n, out._mean, out._m2 = self.n, self._mean, self._m2
+            out._min, out._max = self._min, self._max
+            return out
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        out.n = n
+        out._mean = self._mean + delta * other.n / n
+        out._m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / n
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        return out
+
+    @property
+    def mean(self) -> float:
+        if self.n == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        if self.n == 0:
+            raise ValueError("no samples")
+        return self._m2 / self.n
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self.n == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self.n == 0:
+            raise ValueError("no samples")
+        return self._max
+
+    def summary(self) -> Summary:
+        """Snapshot as a :class:`Summary` (total reconstructed from mean)."""
+        if self.n == 0:
+            raise ValueError("no samples")
+        return Summary(
+            maximum=self._max,
+            minimum=self._min,
+            average=self._mean,
+            count=self.n,
+            total=self._mean * self.n,
+        )
+
+
+def median(xs: Sequence[float]) -> float:
+    """Median of a non-empty sequence (used by benchmark repetitions)."""
+    if not xs:
+        raise ValueError("median of empty sequence")
+    s = sorted(xs)
+    n = len(s)
+    mid = n // 2
+    if n % 2:
+        return s[mid]
+    return 0.5 * (s[mid - 1] + s[mid])

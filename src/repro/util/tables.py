@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench target prints its result in the same row/column layout as
+the corresponding table in the paper so that paper-vs-measured
+comparison is a visual diff.  No third-party pretty-printer is used —
+the output must be stable across environments because EXPERIMENTS.md
+embeds it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Table:
+    """A minimal left-padded text table.
+
+    >>> t = Table(["system", "time (sec)", "speedup"])
+    >>> t.add_row(["COMPaS", "12.3", "6.1"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        row = ["" if c is None else str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def add_separator(self) -> None:
+        """Insert a horizontal rule between row groups."""
+        self.rows.append(["---"] * len(self.headers))
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                if cell != "---":
+                    widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        rule = "  ".join("-" * w for w in widths)
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(fmt_row(self.headers))
+        lines.append(rule)
+        for row in self.rows:
+            lines.append(rule if row[0] == "---" else fmt_row(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,53 @@
+"""Utilization-report module tests."""
+
+import pytest
+
+from repro.apps.knapsack import SchedulingParams, run_system, scaled_instance
+from repro.bench.utilization import UtilizationReport, collect_utilization
+from repro.cluster import Testbed
+
+
+@pytest.fixture(scope="module")
+def audited():
+    inst = scaled_instance(n=28, target_nodes=60_000, seed=2)
+    tb = Testbed()
+    run_system(tb, "Wide-area Cluster", inst,
+               SchedulingParams(node_cost=20e-6), use_proxy=True)
+    return tb, collect_utilization(tb)
+
+
+def test_report_structure(audited):
+    tb, report = audited
+    assert report.elapsed == tb.sim.now
+    assert set(report.host_cpu) == set(tb.net.hosts)
+    assert "IMNet" in report.links
+
+
+def test_relays_did_work(audited):
+    tb, report = audited
+    assert report.outer_frames > 0
+    assert report.inner_frames > 0
+    assert report.host_cpu["outer-server"] > 0
+
+
+def test_imnet_carried_bytes(audited):
+    tb, report = audited
+    util, nbytes = report.links["IMNet"]
+    assert nbytes > 0
+    assert 0 <= util <= 1
+
+
+def test_render_mentions_busy_resources(audited):
+    tb, report = audited
+    out = report.render()
+    assert "cpu:outer-server" in out
+    assert "link:IMNet" in out
+    assert "relay frames" in out
+
+
+def test_fresh_testbed_report_is_quiet():
+    tb = Testbed()
+    tb.sim.run(until=1.0)
+    report = collect_utilization(tb)
+    assert all(u == 0 for u in report.host_cpu.values())
+    assert report.outer_frames == 0

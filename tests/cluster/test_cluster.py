@@ -1,0 +1,158 @@
+"""Testbed (Fig. 5) and cluster systems (Table 3)."""
+
+import pytest
+
+from repro.cluster import CATALOGUE, SYSTEMS, Testbed, build_world, system
+from repro.cluster.machine import MachineSpec
+from repro.mpi import MPIWorld
+from repro.simnet import FirewallBlocked
+
+
+@pytest.fixture(scope="module")
+def tb():
+    return Testbed()
+
+
+def test_catalogue_matches_figure5():
+    assert CATALOGUE["RWCP-Sun"].cpus == 4
+    assert CATALOGUE["ETL-Sun"].cpus == 6
+    assert CATALOGUE["ETL-O2K"].cpus == 16
+    assert CATALOGUE["COMPaS-node"].cpus == 4
+    assert CATALOGUE["Inner-Server"].cpus == 2
+    assert CATALOGUE["Outer-Server"].cpus == 2
+    # The speedup baseline machine defines speed 1.0.
+    assert CATALOGUE["RWCP-Sun"].cpu_speed == 1.0
+
+
+def test_machine_spec_validation():
+    with pytest.raises(ValueError):
+        MachineSpec("x", "d", "s", cpus=0, cpu_speed=1)
+    with pytest.raises(ValueError):
+        MachineSpec("x", "d", "s", cpus=1, cpu_speed=0)
+
+
+def test_testbed_hosts_exist(tb):
+    for name in ["rwcp-sun", "inner-server", "outer-server", "etl-sun", "etl-o2k"]:
+        assert tb.host(name) is not None
+    assert len(tb.compas) == 8
+
+
+def test_relay_servers_running(tb):
+    assert tb.outer_server.running
+    assert tb.inner_server.running
+
+
+def test_firewall_blocks_inbound_to_rwcp(tb):
+    assert not tb.net.can_connect("etl-sun", "rwcp-sun", 5000)
+    # Outbound from RWCP is fine.
+    assert tb.net.can_connect("rwcp-sun", "etl-sun", 5000)
+    # The nxport pinhole exists, pinned to the outer server.
+    assert tb.net.can_connect(
+        "outer-server", "inner-server", tb.relay_config.nxport
+    )
+    assert not tb.net.can_connect("etl-sun", "inner-server", tb.relay_config.nxport)
+
+
+def test_wan_latency_matches_table2_direct():
+    """One-way RWCP-Sun -> ETL-Sun propagation ≈ the 3.9 ms direct
+    latency of Table 2 (endpoint costs add the small remainder)."""
+    tb = Testbed()
+    rtt = tb.net.rtt_between(tb.host("rwcp-sun"), tb.host("etl-sun"))
+    assert 6e-3 < rtt < 8.5e-3  # 2 x ~3.55 ms propagation
+
+
+def test_lan_path_is_short(tb):
+    rtt = tb.net.rtt_between(tb.host("rwcp-sun"), tb.host("compas-0"))
+    assert rtt < 1e-3
+
+
+def test_direct_run_footnote():
+    tb = Testbed()
+    assert not tb.net.can_connect("etl-sun", "rwcp-sun", 5000)
+    tb.open_firewall_for_direct_runs()
+    assert tb.net.can_connect("etl-sun", "rwcp-sun", 5000)
+    tb.restore_firewall()
+    assert not tb.net.can_connect("etl-sun", "rwcp-sun", 5000)
+
+
+def test_table3_processor_counts():
+    assert system("COMPaS").nprocs == 8
+    assert system("ETL-O2K").nprocs == 8
+    assert system("Local-area Cluster").nprocs == 12
+    assert system("Wide-area Cluster").nprocs == 20
+
+
+def test_table3_descriptions_name_the_devices():
+    assert "ch_p4" in system("COMPaS").description
+    assert "vendor" in system("ETL-O2K").description
+    assert "Globus" in system("Local-area Cluster").description
+    assert "Globus" in system("Wide-area Cluster").description
+
+
+def test_unknown_system():
+    with pytest.raises(KeyError, match="unknown system"):
+        system("MegaCluster")
+
+
+def test_compas_is_one_rank_per_node():
+    spec = system("COMPaS")
+    hosts = [p.host for p in spec.placements]
+    assert hosts == [f"compas-{i}" for i in range(8)]
+    assert all(p.nprocs == 1 for p in spec.placements)
+
+
+def test_build_world_counts():
+    tb = Testbed()
+    for name, expected in [
+        ("COMPaS", 8),
+        ("ETL-O2K", 8),
+        ("Local-area Cluster", 12),
+        ("Wide-area Cluster", 20),
+    ]:
+        world = build_world(tb, name)
+        assert isinstance(world, MPIWorld)
+        assert world.size == expected
+
+
+def test_build_world_proxy_flags():
+    tb = Testbed()
+    world = build_world(tb, "Wide-area Cluster")
+    proxied = [s.proxied for s in world.specs]
+    # 4 RWCP-Sun + 8 COMPaS proxied; 8 ETL-O2K direct.
+    assert sum(proxied) == 12
+    assert proxied[-8:] == [False] * 8
+
+
+def test_build_world_without_proxy_opens_firewall():
+    tb = Testbed()
+    world = build_world(tb, "Wide-area Cluster", use_proxy=False)
+    assert all(not s.proxied for s in world.specs)
+    # The footnote's temporary firewall change happened.
+    assert tb.net.can_connect("etl-sun", "rwcp-sun", 5000)
+
+
+def test_single_site_systems_reject_proxy():
+    tb = Testbed()
+    with pytest.raises(ValueError, match="Globus device"):
+        build_world(tb, "COMPaS", use_proxy=True)
+
+
+def test_wide_area_world_runs_mpi():
+    """Smoke: a 20-rank ring across the whole testbed, through the
+    proxy for the firewalled ranks."""
+    tb = Testbed()
+    world = build_world(tb, "Wide-area Cluster")
+
+    def main(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        yield from comm.send(comm.rank, dest=right, tag=1, nbytes=64)
+        payload, _ = yield from comm.recv(source=left, tag=1)
+        return payload
+
+    def driver():
+        return (yield from world.launch(main))
+
+    p = tb.sim.process(driver())
+    tb.sim.run()
+    assert p.value == [(r - 1) % 20 for r in range(20)]

@@ -1,0 +1,70 @@
+"""Daemon CLI argument parsing (without running the servers)."""
+
+import pytest
+
+from repro.core.aio import cli
+
+
+def test_outer_parser_defaults(monkeypatch):
+    captured = {}
+
+    def fake_run(coro):
+        coro.close()
+        captured["ran"] = True
+
+    monkeypatch.setattr(cli.asyncio, "run", fake_run)
+    assert cli.outer_main([]) == 0
+    assert captured["ran"]
+
+
+def test_outer_parser_options(monkeypatch):
+    built = {}
+
+    class FakeServer:
+        def __init__(self, host, port, chunk, secret):
+            built.update(host=host, port=port, chunk=chunk, secret=secret)
+
+    monkeypatch.setattr(cli, "AioOuterServer", FakeServer)
+    monkeypatch.setattr(cli.asyncio, "run", lambda coro: coro.close())
+    cli.outer_main(
+        ["--host", "0.0.0.0", "--control-port", "7777",
+         "--chunk", "1024", "--secret", "s3cret"]
+    )
+    assert built == {"host": "0.0.0.0", "port": 7777, "chunk": 1024,
+                     "secret": "s3cret"}
+
+
+def test_inner_parser_options(monkeypatch):
+    built = {}
+
+    class FakeServer:
+        def __init__(self, host, nxport, chunk, allowed_peers):
+            built.update(host=host, nxport=nxport, chunk=chunk,
+                         allowed_peers=allowed_peers)
+
+    monkeypatch.setattr(cli, "AioInnerServer", FakeServer)
+    monkeypatch.setattr(cli.asyncio, "run", lambda coro: coro.close())
+    cli.inner_main(
+        ["--nxport", "7100", "--allow-from", "203.0.113.1",
+         "--allow-from", "203.0.113.2"]
+    )
+    assert built["nxport"] == 7100
+    assert built["allowed_peers"] == ["203.0.113.1", "203.0.113.2"]
+
+
+def test_inner_allow_from_defaults_to_open(monkeypatch):
+    built = {}
+
+    class FakeServer:
+        def __init__(self, host, nxport, chunk, allowed_peers):
+            built["allowed_peers"] = allowed_peers
+
+    monkeypatch.setattr(cli, "AioInnerServer", FakeServer)
+    monkeypatch.setattr(cli.asyncio, "run", lambda coro: coro.close())
+    cli.inner_main([])
+    assert built["allowed_peers"] is None
+
+
+def test_bad_arguments_exit():
+    with pytest.raises(SystemExit):
+        cli.outer_main(["--control-port", "not-a-port"])

@@ -1,0 +1,334 @@
+"""Live (asyncio, real-socket) Nexus Proxy integration tests.
+
+Everything runs on loopback with ephemeral ports; each test spins up
+its own daemons and tears them down.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.aio import (
+    AioInnerServer,
+    AioOuterServer,
+    AioProxyClient,
+    GuardedDialer,
+)
+from repro.core.protocol import NXProxyError
+from repro.simnet.firewall import Firewall, FirewallBlocked
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=20))
+
+
+async def start_deployment():
+    outer = await AioOuterServer().start()
+    inner = await AioInnerServer().start()
+    client = AioProxyClient(
+        outer_addr=("127.0.0.1", outer.control_port),
+        inner_addr=("127.0.0.1", inner.nxport),
+    )
+    return outer, inner, client
+
+
+async def start_echo_server():
+    async def echo(reader, writer):
+        while True:
+            data = await reader.read(4096)
+            if not data:
+                break
+            writer.write(data)
+            await writer.drain()
+        writer.close()
+
+    server = await asyncio.start_server(echo, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+def test_active_open_relays_bytes():
+    async def main():
+        outer, inner, client = await start_deployment()
+        echo_srv, echo_port = await start_echo_server()
+        try:
+            reader, writer = await client.connect("127.0.0.1", echo_port)
+            writer.write(b"hello through the relay")
+            await writer.drain()
+            got = await reader.readexactly(23)
+            assert got == b"hello through the relay"
+            writer.close()
+            await asyncio.sleep(0.05)
+            assert outer.stats.active_connects == 1
+            assert outer.stats.bytes_relayed >= 46  # both directions
+        finally:
+            echo_srv.close()
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_active_open_large_transfer():
+    async def main():
+        outer, inner, client = await start_deployment()
+        echo_srv, echo_port = await start_echo_server()
+        payload = bytes(range(256)) * 4096  # 1 MiB
+        try:
+            reader, writer = await client.connect("127.0.0.1", echo_port)
+            writer.write(payload)
+            await writer.drain()
+            writer.write_eof()
+            got = await reader.readexactly(len(payload))
+            assert got == payload
+            writer.close()
+        finally:
+            echo_srv.close()
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_connect_to_dead_port_reports_error():
+    async def main():
+        outer, inner, client = await start_deployment()
+        try:
+            with pytest.raises(NXProxyError, match="connect failed"):
+                await client.connect("127.0.0.1", 1)  # nothing listens there
+            assert outer.stats.failed_requests == 1
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_passive_open_full_chain():
+    """Fig. 4 on real sockets: peer -> outer -> inner -> client."""
+
+    async def main():
+        outer, inner, client = await start_deployment()
+        try:
+            listener = await client.bind()
+            proxy_host, proxy_port = listener.proxy_addr
+            assert proxy_port != listener.local_addr[1]
+
+            async def peer():
+                r, w = await asyncio.open_connection(proxy_host, proxy_port)
+                w.write(b"knock knock")
+                await w.drain()
+                reply = await r.readexactly(7)
+                w.close()
+                return reply
+
+            peer_task = asyncio.create_task(peer())
+            r, w = await listener.accept(timeout=10)
+            data = await r.readexactly(11)
+            assert data == b"knock knock"
+            w.write(b"come in")
+            await w.drain()
+            assert await peer_task == b"come in"
+            await listener.close()
+            assert outer.stats.passive_binds == 1
+            assert outer.stats.passive_chains == 1
+            assert inner.stats.passive_chains == 1
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_bind_released_on_listener_close():
+    async def main():
+        outer, inner, client = await start_deployment()
+        try:
+            listener = await client.bind()
+            proxy_host, proxy_port = listener.proxy_addr
+            await listener.close()
+            await asyncio.sleep(0.1)  # let the outer server notice EOF
+            with pytest.raises((ConnectionRefusedError, OSError)):
+                await asyncio.open_connection(proxy_host, proxy_port)
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_multiple_concurrent_relayed_streams():
+    async def main():
+        outer, inner, client = await start_deployment()
+        echo_srv, echo_port = await start_echo_server()
+
+        async def one(i):
+            reader, writer = await client.connect("127.0.0.1", echo_port)
+            msg = f"stream-{i}".encode() * 100
+            writer.write(msg)
+            await writer.drain()
+            got = await reader.readexactly(len(msg))
+            writer.close()
+            return got == msg
+
+        try:
+            results = await asyncio.gather(*[one(i) for i in range(8)])
+            assert all(results)
+            assert outer.stats.active_connects == 8
+        finally:
+            echo_srv.close()
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_garbage_on_control_port_is_rejected():
+    async def main():
+        outer = await AioOuterServer().start()
+        try:
+            r, w = await asyncio.open_connection("127.0.0.1", outer.control_port)
+            w.write(b"GET / HTTP/1.0\r\n\r\n")
+            await w.drain()
+            line = await r.readline()
+            assert b'"ok":false' in line
+            w.close()
+            assert outer.stats.failed_requests == 1
+        finally:
+            await outer.stop()
+
+    run(main())
+
+
+def test_unknown_op_rejected():
+    async def main():
+        outer = await AioOuterServer().start()
+        try:
+            r, w = await asyncio.open_connection("127.0.0.1", outer.control_port)
+            w.write(b'{"op": "teleport"}\n')
+            await w.drain()
+            line = await r.readline()
+            assert b'"ok":false' in line and b"unknown op" in line
+            w.close()
+        finally:
+            await outer.stop()
+
+    run(main())
+
+
+def test_inner_rejects_bad_request():
+    async def main():
+        inner = await AioInnerServer().start()
+        try:
+            r, w = await asyncio.open_connection("127.0.0.1", inner.nxport)
+            w.write(b'{"op": "connect", "host": "x", "port": 1}\n')
+            await w.drain()
+            line = await r.readline()
+            assert b'"ok":false' in line
+            w.close()
+            assert inner.stats.failed_requests == 1
+        finally:
+            await inner.stop()
+
+    run(main())
+
+
+def test_invalid_port_rejected():
+    async def main():
+        outer = await AioOuterServer().start()
+        try:
+            r, w = await asyncio.open_connection("127.0.0.1", outer.control_port)
+            w.write(b'{"op": "connect", "host": "127.0.0.1", "port": "nope"}\n')
+            await w.drain()
+            line = await r.readline()
+            assert b'"ok":false' in line
+            w.close()
+        finally:
+            await outer.stop()
+
+    run(main())
+
+
+def test_client_without_outer_is_direct():
+    async def main():
+        echo_srv, echo_port = await start_echo_server()
+        try:
+            client = AioProxyClient()  # no proxy configured
+            assert not client.enabled
+            reader, writer = await client.connect("127.0.0.1", echo_port)
+            writer.write(b"direct")
+            await writer.drain()
+            assert await reader.readexactly(6) == b"direct"
+            writer.close()
+        finally:
+            echo_srv.close()
+
+    run(main())
+
+
+def test_bind_requires_configuration():
+    async def main():
+        with pytest.raises(NXProxyError):
+            await AioProxyClient().bind()
+        with pytest.raises(NXProxyError, match="inner server"):
+            await AioProxyClient(outer_addr=("127.0.0.1", 1)).bind()
+
+    run(main())
+
+
+def test_guarded_dialer_enforces_policy():
+    """The loopback 'firewall': inbound denied, proxy path allowed."""
+
+    async def main():
+        outer, inner, client = await start_deployment()
+        echo_srv, echo_port = await start_echo_server()
+        fw = Firewall.typical(name="rwcp", reject=True)
+        dialer = GuardedDialer(
+            site_of={"pa": "rwcp", "innerh": "rwcp"},  # pb/outerh outside
+            firewalls={"rwcp": fw},
+            resolve={"pa": ("127.0.0.1", echo_port)},
+        )
+        try:
+            # Outside cannot dial the inside echo server...
+            with pytest.raises(FirewallBlocked):
+                await dialer.open_connection("pb", "pa")
+            # ...but inside can dial out (to the outer server).
+            r, w = await dialer.open_connection(
+                "pa", "outerh", host="127.0.0.1", port=outer.control_port
+            )
+            w.close()
+            assert fw.denied  # inbound denial was recorded
+        finally:
+            echo_srv.close()
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_inner_allowed_peers_enforced():
+    """The nxport daemon's defence-in-depth source check."""
+
+    async def main():
+        open_inner = await AioInnerServer(allowed_peers=["127.0.0.1"]).start()
+        closed_inner = await AioInnerServer(allowed_peers=["203.0.113.9"]).start()
+        try:
+            # Permitted source: a protocol error reply, not a refusal.
+            r, w = await asyncio.open_connection("127.0.0.1", open_inner.nxport)
+            w.write(b'{"op": "bogus"}\n')
+            await w.drain()
+            line = await r.readline()
+            assert b"unknown op" in line
+            w.close()
+            # Forbidden source: refused before any protocol handling.
+            r, w = await asyncio.open_connection("127.0.0.1", closed_inner.nxport)
+            w.write(b'{"op": "relayto", "host": "x", "port": 1}\n')
+            await w.drain()
+            line = await r.readline()
+            assert b"not permitted" in line
+            w.close()
+            assert closed_inner.stats.failed_requests == 1
+        finally:
+            await open_inner.stop()
+            await closed_inner.stop()
+
+    run(main())

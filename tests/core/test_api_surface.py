@@ -1,0 +1,48 @@
+"""Table 1: the library functions exist under their paper names."""
+
+from repro.core import NexusProxyClient, ProxiedListener
+from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
+import pytest
+
+
+def test_table1_function_names():
+    # Table 1 lists NXProxyConnect, NXProxyBind, NXProxyAccept.
+    assert callable(NexusProxyClient.NXProxyConnect)
+    assert callable(NexusProxyClient.NXProxyBind)
+    assert callable(ProxiedListener.NXProxyAccept)
+
+
+def test_table1_aliases_are_the_canonical_methods():
+    assert NexusProxyClient.NXProxyConnect is NexusProxyClient.connect
+    assert NexusProxyClient.NXProxyBind is NexusProxyClient.bind
+    assert ProxiedListener.NXProxyAccept is ProxiedListener.accept
+
+
+def test_relay_config_defaults_valid():
+    DEFAULT_RELAY_CONFIG.validate()
+    assert DEFAULT_RELAY_CONFIG.nxport != DEFAULT_RELAY_CONFIG.control_port
+
+
+def test_relay_config_overrides():
+    cfg = DEFAULT_RELAY_CONFIG.with_overrides(chunk_bytes=4096)
+    assert cfg.chunk_bytes == 4096
+    assert cfg.nxport == DEFAULT_RELAY_CONFIG.nxport
+
+
+def test_relay_config_validation_errors():
+    with pytest.raises(ValueError):
+        RelayConfig(chunk_bytes=0).validate()
+    with pytest.raises(ValueError):
+        RelayConfig(per_chunk_cpu=-1).validate()
+    with pytest.raises(ValueError):
+        RelayConfig(control_port=7000, nxport=7000).validate()
+    with pytest.raises(ValueError):
+        RelayConfig(control_port=0).validate()
+
+
+def test_chunk_helpers():
+    cfg = RelayConfig(chunk_bytes=1000, per_chunk_cpu=1e-3, per_byte_cpu=1e-6)
+    assert cfg.chunks_for(1) == 1
+    assert cfg.chunks_for(1000) == 1
+    assert cfg.chunks_for(1001) == 2
+    assert cfg.chunk_cost(500) == pytest.approx(1.5e-3)

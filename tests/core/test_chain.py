@@ -1,0 +1,108 @@
+"""Analytic chain model, and its agreement with the simulation."""
+
+import pytest
+
+from repro.core import ChainModel, FramedConnection, RelayStage, WireLeg
+from repro.core.frames import FRAME_HEADER_BYTES
+from repro.simnet import NetConfig, Network
+
+
+def test_one_way_single_wire_leg():
+    m = ChainModel(stages=[WireLeg(latency=0.010, bandwidth=1000.0)], chunk_bytes=100)
+    # 100 bytes: 1 chunk, 10 ms latency + 0.1 s serialization.
+    assert m.one_way_time(100) == pytest.approx(0.110)
+    # 300 bytes: 3 chunks pipelined on one stage = 0.3 s + latency.
+    assert m.one_way_time(300) == pytest.approx(0.310)
+
+
+def test_relay_dominates_when_slow():
+    m = ChainModel(
+        stages=[
+            WireLeg(latency=0.0, bandwidth=1e9),
+            RelayStage(per_chunk_cpu=0.010),
+            WireLeg(latency=0.0, bandwidth=1e9),
+        ],
+        chunk_bytes=1000,
+    )
+    # 10 chunks through a 10 ms/chunk relay ≈ 100 ms.
+    assert m.one_way_time(10_000) == pytest.approx(0.100, rel=0.01)
+    assert m.asymptotic_bandwidth() == pytest.approx(1000 / 0.010, rel=0.01)
+
+
+def test_relay_cpu_speed_scaling():
+    fast = RelayStage(per_chunk_cpu=0.010, cpu_speed=2.0)
+    assert fast.stage_time(1000) == pytest.approx(0.005)
+
+
+def test_bandwidth_monotone_in_message_size():
+    m = ChainModel(
+        stages=[WireLeg(latency=5e-3, bandwidth=1e6), RelayStage(per_chunk_cpu=1e-3)],
+        chunk_bytes=1024,
+    )
+    sizes = [1024, 4096, 65536, 1 << 20]
+    bws = [m.bandwidth(s) for s in sizes]
+    assert bws == sorted(bws)
+    # And converges below the asymptote.
+    assert bws[-1] <= m.asymptotic_bandwidth()
+
+
+def test_relay_count():
+    m = ChainModel(
+        stages=[WireLeg(0, 1e6), RelayStage(1e-3), WireLeg(0, 1e6), RelayStage(1e-3),
+                WireLeg(0, 1e6)],
+        chunk_bytes=1024,
+    )
+    assert m.relay_count == 2
+
+
+def test_invalid_size_rejected():
+    m = ChainModel(stages=[WireLeg(0, 1e6)], chunk_bytes=1024)
+    with pytest.raises(ValueError):
+        m.one_way_time(0)
+
+
+def test_ping_pong_latency_is_small_message_time():
+    m = ChainModel(stages=[WireLeg(latency=2e-3, bandwidth=1e6)], chunk_bytes=1024)
+    assert m.ping_pong_latency() == m.one_way_time(16)
+
+
+@pytest.mark.parametrize("nbytes", [512, 4096, 65536])
+def test_model_matches_simulation_single_link(nbytes):
+    """The closed form and the DES agree on a plain framed link."""
+    latency, bandwidth, chunk = 2e-3, 0.5e6, 1024
+    cfg = NetConfig(
+        connect_overhead=0.0, send_overhead=0.0,
+        per_segment_cpu=0.0, recv_overhead=0.0, mss=chunk + FRAME_HEADER_BYTES,
+    )
+    net = Network(config=cfg)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, latency, bandwidth)
+    out = {}
+
+    def server():
+        ls = b.listen(1)
+        conn = yield ls.accept()
+        fc = FramedConnection(conn, chunk)
+        t0 = net.sim.now
+        out["t0"] = t0
+        _, n = yield from fc.recv()
+        out["elapsed"] = net.sim.now - t0
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        fc = FramedConnection(conn, chunk)
+        yield fc.send(b"", nbytes=nbytes)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+
+    model = ChainModel(
+        stages=[WireLeg(latency=latency, bandwidth=bandwidth)],
+        chunk_bytes=chunk,
+        header_bytes=FRAME_HEADER_BYTES,
+    )
+    predicted = model.one_way_time(nbytes)
+    # Within 5%: the DES adds only event-granularity effects.
+    assert out["elapsed"] == pytest.approx(predicted, rel=0.05)

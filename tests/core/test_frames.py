@@ -1,0 +1,197 @@
+"""Chunk framing: splitting, reassembly, protocol violations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frames import FRAME_HEADER_BYTES, DataFrame, FrameError, FramedConnection
+from repro.simnet import Network
+
+
+def make_pair():
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, 1e-4, 1e7)
+    pair = {}
+
+    def server():
+        ls = b.listen(1)
+        pair["server"] = yield ls.accept()
+
+    def client():
+        pair["client"] = yield from a.connect(("b", 1))
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    return net, pair["client"], pair["server"]
+
+
+def test_dataframe_properties():
+    f = DataFrame(stream_id=1, msg_seq=1, index=2, count=3, chunk_bytes=100,
+                  total_bytes=2148)
+    assert f.is_last
+    assert f.wire_bytes == 100 + FRAME_HEADER_BYTES
+
+
+def test_single_chunk_message():
+    net, c, s = make_pair()
+    fc_c = FramedConnection(c, 1024)
+    fc_s = FramedConnection(s, 1024)
+    out = {}
+
+    def sender():
+        yield fc_c.send("small", nbytes=100)
+
+    def receiver():
+        payload, n = yield from fc_s.recv()
+        out["msg"] = (payload, n)
+
+    net.sim.process(sender())
+    net.sim.process(receiver())
+    net.sim.run()
+    assert out["msg"] == ("small", 100)
+    assert fc_s.messages_received == 1
+
+
+def test_multi_chunk_reassembly():
+    net, c, s = make_pair()
+    fc_c = FramedConnection(c, 1000)
+    fc_s = FramedConnection(s, 1000)
+    out = {}
+
+    def sender():
+        yield fc_c.send("big", nbytes=5500)  # 6 chunks
+
+    def receiver():
+        payload, n = yield from fc_s.recv()
+        out["msg"] = (payload, n)
+
+    net.sim.process(sender())
+    net.sim.process(receiver())
+    net.sim.run()
+    assert out["msg"] == ("big", 5500)
+    # The transport saw 6 separate frames.
+    assert s.messages_received == 6
+
+
+def test_exact_multiple_chunking():
+    net, c, s = make_pair()
+    fc_c = FramedConnection(c, 1024)
+    fc_s = FramedConnection(s, 1024)
+    out = {}
+
+    def sender():
+        yield fc_c.send(b"", nbytes=4096)  # exactly 4 chunks
+
+    def receiver():
+        _, n = yield from fc_s.recv()
+        out["n"] = n
+
+    net.sim.process(sender())
+    net.sim.process(receiver())
+    net.sim.run()
+    assert out["n"] == 4096
+    assert s.messages_received == 4
+
+
+def test_back_to_back_messages_keep_boundaries():
+    net, c, s = make_pair()
+    fc_c = FramedConnection(c, 512)
+    fc_s = FramedConnection(s, 512)
+    got = []
+
+    def sender():
+        for i, size in enumerate([100, 2000, 512, 513]):
+            yield fc_c.send(i, nbytes=size)
+
+    def receiver():
+        for _ in range(4):
+            payload, n = yield from fc_s.recv()
+            got.append((payload, n))
+
+    net.sim.process(sender())
+    net.sim.process(receiver())
+    net.sim.run()
+    assert got == [(0, 100), (1, 2000), (2, 512), (3, 513)]
+
+
+def test_non_frame_payload_rejected():
+    net, c, s = make_pair()
+    fc_s = FramedConnection(s, 1024)
+
+    def sender():
+        yield c.send("raw, unframed", nbytes=64)
+
+    def receiver():
+        with pytest.raises(FrameError, match="expected DataFrame"):
+            yield from fc_s.recv()
+        return True
+
+    net.sim.process(sender())
+    p = net.sim.process(receiver())
+    net.sim.run()
+    assert p.value is True
+
+
+def test_mid_message_start_rejected():
+    net, c, s = make_pair()
+    fc_s = FramedConnection(s, 1024)
+
+    def sender():
+        frame = DataFrame(stream_id=9, msg_seq=1, index=1, count=3,
+                          chunk_bytes=10, total_bytes=30)
+        yield c.send(frame, nbytes=frame.wire_bytes)
+
+    def receiver():
+        with pytest.raises(FrameError, match="starts at chunk 1"):
+            yield from fc_s.recv()
+        return True
+
+    net.sim.process(sender())
+    p = net.sim.process(receiver())
+    net.sim.run()
+    assert p.value is True
+
+
+def test_invalid_chunk_size_rejected():
+    net, c, _ = make_pair()
+    with pytest.raises(FrameError):
+        FramedConnection(c, 0)
+
+
+def test_invalid_message_size_rejected():
+    net, c, _ = make_pair()
+    fc = FramedConnection(c, 1024)
+    with pytest.raises(FrameError):
+        fc.send("x", nbytes=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nbytes=st.integers(min_value=1, max_value=50_000),
+    chunk=st.integers(min_value=1, max_value=8192),
+)
+def test_chunk_count_invariant(nbytes, chunk):
+    """Frames always cover the message exactly, regardless of sizes."""
+    net, c, s = make_pair()
+    fc_c = FramedConnection(c, chunk)
+    fc_s = FramedConnection(s, chunk)
+    out = {}
+
+    def sender():
+        yield fc_c.send("payload", nbytes=nbytes)
+
+    def receiver():
+        payload, n = yield from fc_s.recv()
+        out["n"] = n
+
+    net.sim.process(sender())
+    net.sim.process(receiver())
+    net.sim.run()
+    assert out["n"] == nbytes
+    expected_frames = -(-nbytes // chunk)
+    assert s.messages_received == expected_frames
+    # Conservation: transport bytes = payload + per-frame headers.
+    assert s.bytes_received == nbytes + expected_frames * FRAME_HEADER_BYTES

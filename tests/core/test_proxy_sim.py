@@ -1,0 +1,341 @@
+"""Functional tests of the simulated Nexus Proxy (Figures 3 and 4)."""
+
+import pytest
+
+from repro.core import FramedConnection, NXProxyError
+from repro.simnet import FirewallBlocked
+
+
+def test_direct_inbound_is_blocked(dep):
+    """The problem statement: without the proxy, outside cannot reach in."""
+
+    def server():
+        dep.pa.listen(9000)
+        yield dep.sim.timeout(0)
+
+    def client():
+        with pytest.raises(FirewallBlocked):
+            yield from dep.pb.connect(("pa", 9000))
+        return True
+
+    dep.sim.process(server())
+    p = dep.sim.process(client())
+    dep.sim.run()
+    assert p.value is True
+
+
+def test_active_open_relays_through_outer(dep):
+    """Fig. 3: PA (inside) reaches PB (outside) via the outer server."""
+    out = {}
+
+    def pb_server():
+        ls = dep.pb.listen(9000)
+        conn = yield ls.accept()
+        fc = FramedConnection(conn, dep.config.chunk_bytes)
+        payload, n = yield from fc.recv()
+        out["pb"] = (payload, n)
+        yield fc.send("pong", nbytes=100)
+
+    def pa_client():
+        fc = yield from dep.client().connect(("pb", 9000))
+        yield fc.send("ping", nbytes=4096)
+        payload, n = yield from fc.recv()
+        out["pa"] = (payload, n)
+
+    dep.sim.process(pb_server())
+    dep.sim.process(pa_client())
+    dep.sim.run()
+    assert out["pb"] == ("ping", 4096)
+    assert out["pa"] == ("pong", 100)
+    assert dep.outer.stats.active_connects == 1
+    assert dep.outer.stats.bytes_relayed >= 4196
+    # The active chain does not involve the inner server.
+    assert dep.inner.stats.frames_relayed == 0
+
+
+def test_passive_open_chains_through_both_servers(dep):
+    """Fig. 4: a peer reaches a firewalled listener via outer + inner."""
+    out = {}
+
+    def pa_side():
+        listener = yield from dep.client().bind()
+        out["proxy_addr"] = listener.proxy_addr
+        # Announced address is on the outer server, not on pa.
+        assert listener.proxy_addr.host == "outerh"
+        assert listener.local_addr.host == "pa"
+
+        def pb_side():
+            conn = yield from dep.pb.connect(out["proxy_addr"])
+            fc = FramedConnection(conn, dep.config.chunk_bytes)
+            yield fc.send("from-outside", nbytes=2048)
+            payload, _ = yield from fc.recv()
+            out["pb"] = payload
+
+        dep.sim.process(pb_side())
+        fc = yield from listener.accept()
+        payload, n = yield from fc.recv()
+        out["pa"] = (payload, n)
+        yield fc.send("ack", nbytes=64)
+
+    dep.sim.process(pa_side())
+    dep.sim.run()
+    assert out["pa"] == ("from-outside", 2048)
+    assert out["pb"] == "ack"
+    assert dep.outer.stats.passive_binds == 1
+    assert dep.outer.stats.passive_chains == 1
+    assert dep.inner.stats.passive_chains == 1
+    # Data flowed through both relays.
+    assert dep.inner.stats.frames_relayed > 0
+
+
+def test_inner_to_inner_roundtrip(dep):
+    """Both endpoints inside (the RWCP-Sun ↔ COMPaS case): passive
+    chains carry traffic out through the outer server and back in."""
+    out = {}
+
+    def listener_side():
+        listener = yield from dep.client(dep.pa).bind()
+
+        def connector_side():
+            # The second inside host connects actively via the proxy.
+            fc = yield from dep.client(dep.innerh).connect(listener.proxy_addr)
+            yield fc.send("inside-to-inside", nbytes=1024)
+            p, _ = yield from fc.recv()
+            out["connector"] = p
+
+        dep.sim.process(connector_side())
+        fc = yield from listener.accept()
+        p, _ = yield from fc.recv()
+        out["listener"] = p
+        yield fc.send("back", nbytes=64)
+
+    dep.sim.process(listener_side())
+    dep.sim.run()
+    assert out == {"listener": "inside-to-inside", "connector": "back"}
+
+
+def test_connect_to_dead_destination_reports_error(dep):
+    def pa_client():
+        with pytest.raises(NXProxyError, match="refused"):
+            yield from dep.client().connect(("pb", 404))
+        return True
+
+    p = dep.sim.process(pa_client())
+    dep.sim.run()
+    assert p.value is True
+    assert dep.outer.stats.failed_requests == 1
+
+
+def test_bind_requires_inner_server_address(dep):
+    from repro.core import NexusProxyClient
+
+    def pa_client():
+        client = NexusProxyClient(dep.pa, outer_addr=dep.outer.control_addr)
+        with pytest.raises(NXProxyError, match="inner server"):
+            yield from client.bind()
+        return True
+
+    p = dep.sim.process(pa_client())
+    dep.sim.run()
+    assert p.value is True
+
+
+def test_unconfigured_client_falls_back_to_direct(dep):
+    """'Otherwise, the original communication is done.' (§3)"""
+    from repro.core import NexusProxyClient
+
+    out = {}
+
+    def pb_server():
+        ls = dep.pb.listen(9000)
+        conn = yield ls.accept()
+        fc = FramedConnection(conn, 1024)
+        p, _ = yield from fc.recv()
+        out["pb"] = p
+        out["peer_host"] = conn.remote_addr.host
+
+    def pa_client():
+        client = NexusProxyClient(dep.pa)  # no env vars
+        assert not client.enabled
+        fc = yield from client.connect(("pb", 9000))
+        yield fc.send("direct", nbytes=64)
+
+    dep.sim.process(pb_server())
+    dep.sim.process(pa_client())
+    dep.sim.run()
+    assert out["pb"] == "direct"
+    # Direct: PB sees PA itself, not the outer server.
+    assert out["peer_host"] == "pa"
+
+
+def test_unconfigured_bind_is_direct(dep):
+    from repro.core import NexusProxyClient
+
+    out = {}
+
+    def pa_side():
+        client = NexusProxyClient(dep.pa)
+        listener = yield from client.bind()
+        assert listener.proxy_addr.host == "pa"
+
+        def inside_peer():
+            conn = yield from dep.innerh.connect(listener.proxy_addr)
+            fc = FramedConnection(conn, 1024)
+            yield fc.send("lan-direct", nbytes=64)
+
+        dep.sim.process(inside_peer())
+        fc = yield from listener.accept()
+        p, _ = yield from fc.recv()
+        out["got"] = p
+        listener.close()
+
+    dep.sim.process(pa_side())
+    dep.sim.run()
+    assert out["got"] == "lan-direct"
+
+
+def test_closing_listener_releases_public_port(dep):
+    out = {}
+
+    def pa_side():
+        listener = yield from dep.client().bind()
+        public = listener.proxy_addr
+        assert dep.outerh.is_listening(public.port)
+        listener.close()
+        # Give the FIN time to reach the outer server.
+        yield dep.sim.timeout(1.0)
+        out["still_listening"] = dep.outerh.is_listening(public.port)
+        out["registrations"] = len(dep.outer.bind_registrations)
+
+    dep.sim.process(pa_side())
+    dep.sim.run()
+    assert out["still_listening"] is False
+    assert out["registrations"] == 0
+
+
+def test_two_binds_get_distinct_public_ports(dep):
+    out = {}
+
+    def pa_side():
+        l1 = yield from dep.client().bind()
+        l2 = yield from dep.client().bind()
+        out["ports"] = (l1.proxy_addr.port, l2.proxy_addr.port)
+
+    dep.sim.process(pa_side())
+    dep.sim.run()
+    p1, p2 = out["ports"]
+    assert p1 != p2
+    assert p1 >= dep.config.public_port_base
+
+
+def test_peer_close_propagates_through_chain(dep):
+    out = {}
+
+    def pb_server():
+        ls = dep.pb.listen(9000)
+        conn = yield ls.accept()
+        fc = FramedConnection(conn, 1024)
+        p, _ = yield from fc.recv()
+        conn.close()
+
+    def pa_client():
+        from repro.simnet import ConnectionReset
+
+        fc = yield from dep.client().connect(("pb", 9000))
+        yield fc.send("bye", nbytes=64)
+        with pytest.raises(ConnectionReset):
+            yield from fc.recv()
+        out["reset_seen"] = True
+
+    dep.sim.process(pb_server())
+    dep.sim.process(pa_client())
+    dep.sim.run()
+    assert out["reset_seen"] is True
+
+
+def test_outer_rejects_garbage_request(dep):
+    out = {}
+
+    def rogue():
+        conn = yield from dep.pa.connect(dep.outer.control_addr)
+        yield conn.send("what is this", nbytes=64)
+        msg = yield conn.recv()
+        out["reply"] = msg.payload
+
+    dep.sim.process(rogue())
+    dep.sim.run()
+    assert out["reply"].ok is False
+    assert "bad request" in out["reply"].error
+
+
+def test_inner_rejects_garbage_request(dep):
+    out = {}
+
+    def rogue():
+        # The outer host itself speaks garbage to the inner server.
+        conn = yield from dep.outerh.connect(dep.inner.addr)
+        yield conn.send("nonsense", nbytes=64)
+        msg = yield conn.recv()
+        out["reply"] = msg.payload
+
+    dep.sim.process(rogue())
+    dep.sim.run()
+    assert out["reply"].ok is False
+
+
+def test_inner_unreachable_from_arbitrary_outside_host(dep):
+    """The nxport pinhole is pinned to the outer server's address."""
+
+    def attacker():
+        with pytest.raises(FirewallBlocked):
+            yield from dep.pb.connect(dep.inner.addr)
+        return True
+
+    p = dep.sim.process(attacker())
+    dep.sim.run()
+    assert p.value is True
+
+
+def test_double_start_rejected(dep):
+    from repro.simnet import SocketError
+
+    with pytest.raises(SocketError):
+        dep.outer.start()
+    with pytest.raises(SocketError):
+        dep.inner.start()
+
+
+def test_stop_closes_listeners(dep):
+    dep.outer.stop()
+    dep.inner.stop()
+    assert not dep.outer.running
+    assert not dep.inner.running
+
+
+def test_many_concurrent_relayed_connections(dep):
+    """Several streams share the relay daemons without interference."""
+    N = 6
+    results = {}
+
+    def pb_server():
+        ls = dep.pb.listen(9000)
+        for _ in range(N):
+            conn = yield ls.accept()
+            dep.sim.process(echo(conn))
+
+    def echo(conn):
+        fc = FramedConnection(conn, 1024)
+        payload, n = yield from fc.recv()
+        yield fc.send(payload, nbytes=n)
+
+    def pa_client(i):
+        fc = yield from dep.client().connect(("pb", 9000))
+        yield fc.send(f"stream-{i}", nbytes=512 * (i + 1))
+        payload, n = yield from fc.recv()
+        results[i] = (payload, n)
+
+    dep.sim.process(pb_server())
+    for i in range(N):
+        dep.sim.process(pa_client(i))
+    dep.sim.run()
+    assert results == {i: (f"stream-{i}", 512 * (i + 1)) for i in range(N)}

@@ -1,0 +1,99 @@
+"""Regression: the relay must not lose a sender's tail on close.
+
+The write-then-close pattern (send the last message, hang up) is how
+every request/reply protocol ends a conversation.  Inside the relay,
+chunks sit in the non-occupying forwarding delay when the FIN arrives
+on the source leg — an early implementation closed the destination leg
+immediately and dropped them.  These tests pin the drain-aware close.
+"""
+
+import pytest
+
+from repro.core import FramedConnection, NexusProxyClient
+from repro.simnet import ConnectionReset
+
+
+def make_dep():
+    from tests.core.conftest import Deployment
+
+    return Deployment()
+
+
+def test_write_then_close_delivers_tail_through_one_relay():
+    dep = make_dep()
+    out = {}
+
+    def pb_server():
+        ls = dep.pb.listen(9000)
+        conn = yield ls.accept()
+        framed = FramedConnection(conn, dep.config.chunk_bytes)
+        got = []
+        try:
+            while True:
+                payload, n = yield from framed.recv()
+                got.append((payload, n))
+        except ConnectionReset:
+            out["got"] = got
+
+    def pa_client():
+        framed = yield from dep.client().connect(("pb", 9000))
+        for i in range(5):
+            yield framed.send(i, nbytes=3000)  # multi-chunk messages
+        framed.close()  # immediately after the last awaited send
+
+    dep.sim.process(pb_server())
+    dep.sim.process(pa_client())
+    dep.sim.run()
+    assert out["got"] == [(i, 3000) for i in range(5)]
+
+
+def test_write_then_close_through_two_relays():
+    dep = make_dep()
+    out = {}
+
+    def inside_listener():
+        listener = yield from dep.client().bind()
+
+        def outside_peer():
+            conn = yield from dep.pb.connect(listener.proxy_addr)
+            framed = FramedConnection(conn, dep.config.chunk_bytes)
+            yield framed.send("the last word", nbytes=5000)
+            framed.close()
+
+        dep.sim.process(outside_peer())
+        framed = yield from listener.accept()
+        try:
+            while True:
+                payload, n = yield from framed.recv()
+                out["msg"] = (payload, n)
+        except ConnectionReset:
+            pass
+
+    p = dep.sim.process(inside_listener())
+    dep.sim.run(until=p)
+    assert out["msg"] == ("the last word", 5000)
+
+
+def test_reset_still_propagates_when_nothing_in_flight():
+    dep = make_dep()
+    out = {}
+
+    def pb_server():
+        ls = dep.pb.listen(9000)
+        conn = yield ls.accept()
+        framed = FramedConnection(conn, dep.config.chunk_bytes)
+        t0 = dep.sim.now
+        try:
+            yield from framed.recv()
+        except ConnectionReset:
+            out["reset_after"] = dep.sim.now - t0
+
+    def pa_client():
+        framed = yield from dep.client().connect(("pb", 9000))
+        framed.close()  # no data at all
+
+    dep.sim.process(pb_server())
+    dep.sim.process(pa_client())
+    dep.sim.run()
+    # Propagates promptly (no indefinite drain wait).
+    assert out["reset_after"] < 1.0

@@ -1,0 +1,138 @@
+"""Two firewalled sites, two proxy deployments: the general case."""
+
+import pytest
+
+from repro.cluster.multisite import DualFirewallTestbed
+from repro.core import FramedConnection, NexusProxyClient
+from repro.mpi import MPIWorld, allreduce
+from repro.simnet import FirewallBlocked
+
+
+@pytest.fixture
+def tb():
+    return DualFirewallTestbed()
+
+
+def test_sites_mutually_unreachable(tb):
+    a = tb.site("alpha")
+    b = tb.site("beta")
+    assert not tb.net.can_connect(a.hosts[0].name, b.hosts[0].name, 5000)
+    assert not tb.net.can_connect(b.hosts[0].name, a.hosts[0].name, 5000)
+    # Each outer server is reachable from the other site (outbound).
+    assert tb.net.can_connect(
+        a.hosts[0].name, b.outer_host.name, tb.relay_config.control_port
+    )
+    assert tb.total_exposure() == 2  # one nxport per site
+
+
+def test_cross_firewall_exchange_via_double_proxy(tb):
+    """alpha-host publishes via its proxy; beta-host connects via its
+    own proxy: three relay traversals, zero extra firewall holes."""
+    alpha, beta = tb.site("alpha"), tb.site("beta")
+    out = {}
+
+    def publisher():
+        client = NexusProxyClient(alpha.hosts[0], **alpha.proxy_addrs)
+        listener = yield from client.bind()
+        out["public"] = listener.proxy_addr
+        framed = yield from listener.accept()
+        payload, n = yield from framed.recv()
+        out["got"] = (payload, n)
+        yield framed.send("reply-across-two-firewalls", nbytes=256)
+
+    def dialer():
+        while "public" not in out:
+            yield tb.sim.timeout(1e-3)
+        client = NexusProxyClient(beta.hosts[0], **beta.proxy_addrs)
+        framed = yield from client.connect(out["public"])
+        yield framed.send("hello-alpha", nbytes=512)
+        payload, _ = yield from framed.recv()
+        out["reply"] = payload
+
+    tb.sim.process(publisher())
+    tb.sim.process(dialer())
+    tb.sim.run()
+    assert out["got"] == ("hello-alpha", 512)
+    assert out["reply"] == "reply-across-two-firewalls"
+    # All three relays carried traffic: beta's outer (the dialer's
+    # NXProxyConnect), alpha's outer (public port), alpha's inner.
+    assert tb.site("beta").outer_server.stats.active_connects == 1
+    assert tb.site("alpha").outer_server.stats.passive_chains == 1
+    assert tb.site("alpha").inner_server.stats.frames_relayed > 0
+
+
+def test_direct_attempt_still_blocked_after_deployment(tb):
+    alpha, beta = tb.site("alpha"), tb.site("beta")
+
+    def probe():
+        with pytest.raises(FirewallBlocked):
+            yield from beta.hosts[0].connect((alpha.hosts[0].name, 9999))
+        return True
+
+    p = tb.sim.process(probe())
+    tb.sim.run()
+    assert p.value is True
+
+
+def test_mpi_world_across_two_firewalled_sites(tb):
+    """A 4-rank MPI job spanning both firewalled sites."""
+    alpha, beta = tb.site("alpha"), tb.site("beta")
+    world = MPIWorld(tb.net, relay_config=tb.relay_config)
+    for h in alpha.hosts:
+        world.add_rank(h, **alpha.proxy_addrs)
+    for h in beta.hosts:
+        world.add_rank(h, **beta.proxy_addrs)
+
+    def main(comm):
+        total = yield from allreduce(comm, comm.rank + 1, lambda a, b: a + b)
+        return total
+
+    def driver():
+        return (yield from world.launch(main))
+
+    p = tb.sim.process(driver())
+    results = tb.sim.run(until=p)
+    assert results == [10, 10, 10, 10]
+
+
+def test_latency_scales_with_relay_count(tb):
+    """Cross-site (3 relays) costs more than intra-site proxied
+    (2 relays) which costs more than intra-site direct."""
+    alpha, beta = tb.site("alpha"), tb.site("beta")
+    times = {}
+
+    def measure(tag, client_host, client_addrs, server_host, server_addrs):
+        done = {}
+
+        def server():
+            c = NexusProxyClient(server_host, **server_addrs)
+            listener = yield from c.bind()
+            done["addr"] = listener.proxy_addr
+            framed = yield from listener.accept()
+            for _ in range(2):  # warm-up + measured ping
+                payload, n = yield from framed.recv()
+                yield framed.send(payload, nbytes=n)
+
+        def client():
+            while "addr" not in done:
+                yield tb.sim.timeout(1e-3)
+            c = NexusProxyClient(client_host, **client_addrs)
+            framed = yield from c.connect(done["addr"])
+            yield framed.send(b"w", nbytes=16)  # warm-up
+            yield from framed.recv()
+            t0 = tb.sim.now
+            yield framed.send(b"p", nbytes=16)
+            yield from framed.recv()
+            times[tag] = (tb.sim.now - t0) / 2
+
+        tb.sim.process(server())
+        proc = tb.sim.process(client())
+        tb.sim.run(until=proc)
+
+    # 2 relays: alpha host to alpha host through alpha's proxy.
+    measure("intra-proxied", alpha.hosts[1], alpha.proxy_addrs,
+            alpha.hosts[0], alpha.proxy_addrs)
+    # 3 relays: beta host to alpha host, each via its own site proxy.
+    measure("cross-site", beta.hosts[0], beta.proxy_addrs,
+            alpha.hosts[0], alpha.proxy_addrs)
+    assert times["cross-site"] > times["intra-proxied"] + 5e-3

@@ -1,0 +1,117 @@
+"""Driver-level plumbing: rank grouping, run-result aggregation, RMF exe."""
+
+import pytest
+
+from repro.apps.knapsack import (
+    SchedulingParams,
+    optimal_value,
+    rank_groups,
+    register_knapsack_executable,
+    run_sequential_baseline,
+    run_system,
+    scaled_instance,
+    tree_size,
+)
+from repro.cluster import Testbed
+from repro.rmf.executables import ExecutableRegistry
+from repro.rmf.jobs import JobSpec
+
+
+INSTANCE = scaled_instance(n=28, target_nodes=60_000, seed=2)
+PARAMS = SchedulingParams(node_cost=5e-6)
+
+
+def test_rank_groups_shapes():
+    assert rank_groups("COMPaS") == ["COMPaS"] * 8
+    assert rank_groups("ETL-O2K") == ["ETL-O2K"] * 8
+    assert rank_groups("Local-area Cluster") == ["RWCP-Sun"] * 4 + ["COMPaS"] * 8
+    wide = rank_groups("Wide-area Cluster")
+    assert wide == ["RWCP-Sun"] * 4 + ["COMPaS"] * 8 + ["ETL-O2K"] * 8
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_system(Testbed(), "Local-area Cluster", INSTANCE, PARAMS)
+
+
+def test_run_result_aggregates(run):
+    assert run.nprocs == 12
+    assert run.total_nodes == tree_size(INSTANCE)
+    assert run.best_value == optimal_value(INSTANCE)
+    assert run.master_stats.is_master
+    assert run.total_steals == run.master_stats.steal_requests
+
+
+def test_groups_exclude_master(run):
+    groups = {g.group: g for g in run.groups()}
+    assert set(groups) == {"RWCP-Sun", "COMPaS"}
+    # Master (rank 0, on RWCP-Sun) excluded: 3 slaves there, 8 on COMPaS.
+    assert groups["RWCP-Sun"].steals.count == 3
+    assert groups["COMPaS"].nodes.count == 8
+
+
+def test_speedup_computation(run):
+    seq = run_sequential_baseline(Testbed(), INSTANCE, PARAMS)
+    assert run.speedup(seq) == pytest.approx(seq / run.execution_time)
+
+
+def test_speedup_rejects_zero_duration(run):
+    import dataclasses
+
+    broken = dataclasses.replace(run, execution_time=0.0)
+    with pytest.raises(ValueError):
+        broken.speedup(1.0)
+
+
+def test_rmf_executable_validates_arguments():
+    tb = Testbed()
+    reg = ExecutableRegistry()
+    register_knapsack_executable(reg)
+    from repro.rmf import QClient, QServer
+
+    qs = QServer(tb.rwcp_sun, registry=reg).start()
+    qc = QClient(tb.etl_sun)
+    tb.open_firewall_for_direct_runs()
+
+    def flow():
+        res = yield from qc.submit(
+            (tb.rwcp_sun.name, qs.port), JobSpec(executable="knapsack")
+        )
+        return res
+
+    p = tb.sim.process(flow())
+    res = tb.sim.run(until=p)
+    assert not res.ok
+    assert "filename" in res.error
+
+
+def test_rmf_executable_runs_and_stages_out():
+    tb = Testbed()
+    reg = ExecutableRegistry()
+    register_knapsack_executable(reg)
+    from repro.rmf import QClient, QServer
+
+    qs = QServer(tb.compas[0], registry=reg).start()
+    qc = QClient(tb.rwcp_sun)
+    qc.staging.put("inst.txt", INSTANCE.serialize())
+
+    def flow():
+        res = yield from qc.submit(
+            (tb.compas[0].name, qs.port),
+            JobSpec(
+                executable="knapsack",
+                count=2,
+                arguments=("inst.txt",),
+                stage_in=("inst.txt",),
+                stage_out=("out.txt",),
+            ),
+            nprocs=2,
+        )
+        return res
+
+    p = tb.sim.process(flow())
+    res = tb.sim.run(until=p)
+    assert res.ok
+    best, total = res.output_files["out.txt"].split()
+    assert int(best) == optimal_value(INSTANCE)
+    assert int(total) == tree_size(INSTANCE)

@@ -1,0 +1,80 @@
+"""Knapsack instance construction, serialization, generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.knapsack import (
+    KnapsackInstance,
+    random_instance,
+    scaled_instance,
+    tree_size,
+)
+
+
+def test_from_items_sorts_by_ratio():
+    inst = KnapsackInstance.from_items([1, 10, 4], [2, 2, 2], capacity=4)
+    assert inst.profits == (10, 4, 1)
+    assert inst.weights == (2, 2, 2)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="equal length"):
+        KnapsackInstance((1, 2), (1,), 5)
+    with pytest.raises(ValueError, match="at least one"):
+        KnapsackInstance((), (), 5)
+    with pytest.raises(ValueError, match="capacity"):
+        KnapsackInstance((1,), (1,), -1)
+    with pytest.raises(ValueError, match="positive"):
+        KnapsackInstance((1,), (0,), 5)
+    with pytest.raises(ValueError, match="non-negative"):
+        KnapsackInstance((-1,), (1,), 5)
+    with pytest.raises(ValueError, match="sorted"):
+        KnapsackInstance((1, 10), (2, 2), 5)
+
+
+def test_serialize_parse_roundtrip():
+    inst = random_instance(12, seed=4)
+    again = KnapsackInstance.parse(inst.serialize())
+    assert again.profits == inst.profits
+    assert again.weights == inst.weights
+    assert again.capacity == inst.capacity
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        KnapsackInstance.parse("")
+    with pytest.raises(ValueError):
+        KnapsackInstance.parse("2 10\n1 1\n")  # missing a row
+
+
+def test_random_instance_deterministic():
+    a = random_instance(10, seed=7)
+    b = random_instance(10, seed=7)
+    assert a.profits == b.profits and a.weights == b.weights
+
+
+def test_random_instance_default_capacity_half_weight():
+    inst = random_instance(30, seed=2)
+    assert inst.capacity == inst.total_weight // 2
+
+
+def test_scaled_instance_hits_target():
+    target = 50_000
+    inst = scaled_instance(n=28, target_nodes=target, seed=9)
+    size = tree_size(inst)
+    assert 0.5 * target <= size <= 1.5 * target
+
+
+def test_scaled_instance_impossible_target():
+    with pytest.raises(ValueError):
+        scaled_instance(n=5, target_nodes=3, seed=1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=1, max_value=20), seed=st.integers(0, 1000))
+def test_random_instances_always_valid(n, seed):
+    inst = random_instance(n, seed=seed)
+    assert inst.n == n
+    ratios = [p / w for p, w in zip(inst.profits, inst.weights)]
+    assert ratios == sorted(ratios, reverse=True)

@@ -1,0 +1,161 @@
+"""Parallel master/slave knapsack: correctness and scheduling behaviour."""
+
+import pytest
+
+from repro.apps.knapsack import (
+    SchedulingParams,
+    knapsack_rank_main,
+    optimal_value,
+    random_instance,
+    scaled_instance,
+    solve,
+    tree_size,
+)
+from repro.mpi import MPIWorld
+from repro.simnet import Network
+
+from tests.mpi.test_mpi import flat_network
+
+
+def run_parallel(inst, nprocs=4, params=None, hosts=None, net=None):
+    if net is None:
+        net, hosts = flat_network(nprocs)
+    world = MPIWorld(net)
+    world.add_ranks(hosts)
+    if params is None:
+        params = SchedulingParams(node_cost=1e-6)
+
+    def driver():
+        return (yield from world.launch(knapsack_rank_main, inst, params))
+
+    p = net.sim.process(driver())
+    net.sim.run()
+    return p.value
+
+
+SMALL = scaled_instance(n=28, target_nodes=60_000, seed=2)
+
+
+def test_parallel_finds_optimum():
+    results = run_parallel(SMALL)
+    assert results[0].global_best == optimal_value(SMALL)
+    assert all(r.global_best == results[0].global_best for r in results)
+
+
+def test_work_conservation():
+    """Every node is traversed exactly once across all ranks."""
+    results = run_parallel(SMALL, nprocs=6)
+    assert sum(r.nodes_traversed for r in results) == tree_size(SMALL)
+
+
+def test_single_process_degenerates_to_sequential():
+    results = run_parallel(SMALL, nprocs=1)
+    [master] = results
+    assert master.is_master
+    assert master.nodes_traversed == tree_size(SMALL)
+    assert master.global_best == optimal_value(SMALL)
+    assert master.steal_requests == 0
+
+
+def test_two_processes():
+    results = run_parallel(SMALL, nprocs=2)
+    assert sum(r.nodes_traversed for r in results) == tree_size(SMALL)
+    assert results[1].steal_requests >= 1
+
+
+def test_all_slaves_participate():
+    results = run_parallel(SMALL, nprocs=6)
+    slaves = [r for r in results if not r.is_master]
+    assert all(s.nodes_traversed > 0 for s in slaves)
+
+
+def test_parallel_with_pruning():
+    inst = random_instance(22, seed=5)
+    params = SchedulingParams(node_cost=1e-6, prune=True)
+    results = run_parallel(inst, nprocs=4, params=params)
+    assert results[0].global_best == optimal_value(inst)
+    # Pruning visits at most the full tree (bounds are rank-local, so
+    # less pruning than sequential is possible, never more nodes than
+    # the unpruned tree).
+    assert sum(r.nodes_traversed for r in results) <= tree_size(inst)
+
+
+def test_steal_accounting_consistency():
+    results = run_parallel(SMALL, nprocs=5)
+    master = results[0]
+    slaves = results[1:]
+    # Master's served steals <= slaves' sent requests (unserved ones
+    # park the slave until termination).
+    assert master.steal_requests <= sum(s.steal_requests for s in slaves)
+    # Conservation of shipped nodes.
+    assert master.nodes_sent == sum(s.nodes_received for s in slaves)
+    assert master.nodes_received == sum(s.nodes_sent for s in slaves)
+
+
+def test_send_back_engages_on_periodic_schedule():
+    params = SchedulingParams(
+        node_cost=1e-6, back_every=4, back_threshold=4, backunit=2
+    )
+    results = run_parallel(SMALL, nprocs=4, params=params)
+    assert sum(r.back_transfers for r in results) > 0
+    assert sum(r.nodes_traversed for r in results) == tree_size(SMALL)
+
+
+def test_send_back_disabled():
+    params = SchedulingParams(node_cost=1e-6, back_threshold=0)
+    results = run_parallel(SMALL, nprocs=4, params=params)
+    assert sum(r.back_transfers for r in results) == 0
+    assert sum(r.nodes_traversed for r in results) == tree_size(SMALL)
+
+
+def test_steal_from_bottom_variant():
+    params = SchedulingParams(node_cost=1e-6, steal_from="bottom")
+    results = run_parallel(SMALL, nprocs=4, params=params)
+    assert sum(r.nodes_traversed for r in results) == tree_size(SMALL)
+    assert results[0].global_best == optimal_value(SMALL)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        SchedulingParams(interval=0)
+    with pytest.raises(ValueError):
+        SchedulingParams(stealunit=0)
+    with pytest.raises(ValueError):
+        SchedulingParams(backunit=0)
+    with pytest.raises(ValueError):
+        SchedulingParams(back_threshold=3, backunit=4)
+    with pytest.raises(ValueError):
+        SchedulingParams(keep_on_serve=-1)
+    with pytest.raises(ValueError):
+        SchedulingParams(node_cost=-1)
+    with pytest.raises(ValueError):
+        SchedulingParams(steal_from="middle")
+    with pytest.raises(ValueError):
+        SchedulingParams(back_every=0)
+    # threshold 0 disables send-back and is legal.
+    SchedulingParams(back_threshold=0)
+
+
+def test_auto_back_threshold():
+    p = SchedulingParams()
+    assert p.resolve_back_threshold(44) == max(p.backunit + 2, 6)
+    p2 = SchedulingParams(back_threshold=9, backunit=2)
+    assert p2.resolve_back_threshold(44) == 9
+
+
+def test_heterogeneous_hosts_share_by_speed():
+    """Faster hosts traverse proportionally more nodes."""
+    net = Network()
+    switch = net.add_router("switch")
+    hosts = []
+    for i, speed in enumerate([1.0, 1.0, 0.25, 0.25]):
+        h = net.add_host(f"h{i}", cpu_speed=speed)
+        net.link(h, switch, 1e-4, 1e7)
+        hosts.append(h)
+    inst = scaled_instance(n=30, target_nodes=120_000, seed=7)
+    results = run_parallel(inst, hosts=hosts, net=net,
+                           params=SchedulingParams(node_cost=20e-6))
+    assert sum(r.nodes_traversed for r in results) == tree_size(inst)
+    fast = results[1].nodes_traversed  # slave on a speed-1.0 host
+    slow = results[2].nodes_traversed  # slave on a speed-0.25 host
+    assert fast > 2 * slow  # ~4x expected; leave slack for endgame noise

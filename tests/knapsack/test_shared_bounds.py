@@ -1,0 +1,69 @@
+"""The shared-bound pruning extension (beyond the paper)."""
+
+import pytest
+
+from repro.apps.knapsack import (
+    SchedulingParams,
+    optimal_value,
+    random_instance,
+    tree_size,
+)
+
+from tests.knapsack.test_parallel import run_parallel
+
+
+@pytest.fixture(scope="module")
+def instance():
+    # Uncorrelated instances prune well: the fractional bound is tight.
+    return random_instance(24, seed=13)
+
+
+def test_share_bounds_requires_prune():
+    with pytest.raises(ValueError, match="requires prune"):
+        SchedulingParams(share_bounds=True)
+    SchedulingParams(share_bounds=True, prune=True)  # fine
+
+
+def test_shared_bounds_correct(instance):
+    params = SchedulingParams(node_cost=1e-6, prune=True, share_bounds=True)
+    results = run_parallel(instance, nprocs=4, params=params)
+    assert results[0].global_best == optimal_value(instance)
+    assert all(r.global_best == results[0].global_best for r in results)
+
+
+def test_pruning_visits_fewer_nodes_than_full_tree(instance):
+    full = tree_size(instance)
+    params = SchedulingParams(node_cost=1e-6, prune=True, share_bounds=True)
+    results = run_parallel(instance, nprocs=4, params=params)
+    visited = sum(r.nodes_traversed for r in results)
+    assert visited < full
+
+
+def test_shared_bounds_not_worse_than_local_bounds(instance):
+    """Global incumbents can only tighten pruning (modulo scheduling
+    noise, bounded generously)."""
+    local = SchedulingParams(node_cost=1e-6, prune=True)
+    shared = SchedulingParams(node_cost=1e-6, prune=True, share_bounds=True)
+    n_local = sum(
+        r.nodes_traversed for r in run_parallel(instance, nprocs=4, params=local)
+    )
+    n_shared = sum(
+        r.nodes_traversed for r in run_parallel(instance, nprocs=4, params=shared)
+    )
+    assert n_shared <= n_local * 1.25
+
+
+def test_shared_bounds_with_send_back_engaged(instance):
+    params = SchedulingParams(
+        node_cost=1e-6, prune=True, share_bounds=True,
+        back_every=4, back_threshold=4, backunit=2,
+    )
+    results = run_parallel(instance, nprocs=4, params=params)
+    assert results[0].global_best == optimal_value(instance)
+
+
+def test_single_process_shared_bounds(instance):
+    params = SchedulingParams(node_cost=1e-6, prune=True, share_bounds=True)
+    [master] = run_parallel(instance, nprocs=1, params=params)
+    assert master.global_best == optimal_value(instance)
+    assert master.nodes_traversed <= tree_size(instance)

@@ -1,0 +1,157 @@
+"""Nonblocking MPI operations: irecv/isend/sendrecv/waitall."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, MPIError, waitall
+
+from tests.mpi.test_mpi import flat_network, launch
+
+
+def test_irecv_completes_on_arrival():
+    net, hosts = flat_network(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            yield comm.sim.timeout(1.0)
+            yield from comm.send("late", dest=1, tag=4, nbytes=80)
+            return None
+        req = comm.irecv(source=0, tag=4)
+        assert not req.completed
+        assert req.test() is None
+        payload, status = yield from req.wait()
+        return (payload, status.tag, comm.wtime() >= 1.0)
+
+    results = launch(net, hosts, main)
+    assert results[1] == ("late", 4, True)
+
+
+def test_irecv_matches_already_pending():
+    net, hosts = flat_network(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send("early", dest=1)
+            return None
+        comm.iprobe()  # starts the delivery pump
+        yield comm.sim.timeout(1.0)  # message arrives meanwhile
+        req = comm.irecv(source=0)
+        assert req.completed
+        got = req.test()
+        assert got is not None
+        payload, status = got
+        return payload
+
+    results = launch(net, hosts, main)
+    assert results[1] == "early"
+
+
+def test_isend_overlaps_computation():
+    net, hosts = flat_network(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            req = comm.isend("payload", dest=1, nbytes=5000)
+            # Compute while the send progresses.
+            yield comm.sim.timeout(0.5)
+            yield from req.wait()
+            return True
+        payload, _ = yield from comm.recv(source=0)
+        return payload
+
+    results = launch(net, hosts, main)
+    assert results == [True, "payload"]
+
+
+def test_double_wait_rejected():
+    net, hosts = flat_network(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send("x", dest=1)
+            return True
+        req = comm.irecv(source=0)
+        yield from req.wait()
+        with pytest.raises(MPIError, match="already waited"):
+            yield from req.wait()
+        return True
+
+    assert launch(net, hosts, main) == [True, True]
+
+
+def test_waitall_collects_in_order():
+    net, hosts = flat_network(3)
+
+    def main(comm):
+        if comm.rank == 0:
+            reqs = [comm.irecv(source=s, tag=1) for s in (1, 2)]
+            results = yield from waitall(reqs)
+            return [payload for payload, _ in results]
+        yield comm.sim.timeout(0.1 * comm.rank)
+        yield from comm.send(f"from-{comm.rank}", dest=0, tag=1)
+        return None
+
+    results = launch(net, hosts, main)
+    assert results[0] == ["from-1", "from-2"]
+
+
+def test_waitall_empty():
+    net, hosts = flat_network(1)
+
+    def main(comm):
+        out = yield from waitall([])
+        yield comm.sim.timeout(0)
+        return out
+
+    assert launch(net, hosts, main) == [[]]
+
+
+def test_sendrecv_ring_shift_no_deadlock():
+    """Every rank simultaneously sends right and receives from left —
+    the pattern that deadlocks with naive blocking sends."""
+    net, hosts = flat_network(5)
+
+    def main(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        payload, status = yield from comm.sendrecv(
+            comm.rank, dest=right, source=left, sendtag=9, recvtag=9
+        )
+        return (payload, status.source)
+
+    results = launch(net, hosts, main)
+    assert results == [((r - 1) % 5, (r - 1) % 5) for r in range(5)]
+
+
+def test_mixed_blocking_and_nonblocking_ordering():
+    """Waiters (blocking or not) match arrivals in registration order."""
+    net, hosts = flat_network(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            for i in range(3):
+                yield from comm.send(i, dest=1, tag=2)
+            return None
+        req_a = comm.irecv(source=0, tag=2)
+        req_b = comm.irecv(source=0, tag=2)
+        last, _ = yield from comm.recv(source=0, tag=2)
+        a, _ = yield from req_a.wait()
+        b, _ = yield from req_b.wait()
+        return (a, b, last)
+
+    results = launch(net, hosts, main)
+    assert results[1] == (0, 1, 2)
+
+
+def test_isend_validation():
+    net, hosts = flat_network(2)
+
+    def main(comm):
+        yield comm.sim.timeout(0)
+        if comm.rank == 0:
+            with pytest.raises(MPIError):
+                comm.isend("x", dest=9)
+            with pytest.raises(MPIError):
+                comm.isend("x", dest=1, tag=-1)
+        return True
+
+    assert launch(net, hosts, main) == [True, True]

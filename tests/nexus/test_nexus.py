@@ -1,0 +1,285 @@
+"""Nexus layer: contexts, endpoints, startpoints in all three modes."""
+
+import pytest
+
+from repro.core import InnerServer, OuterServer
+from repro.nexus import NexusContext, NexusError, PortRangeExhausted, TcpProtocolModule
+from repro.simnet import Firewall, Network
+
+
+def make_world():
+    """Two sites: 'rwcp' firewalled (with relay servers), 'etl' open."""
+    net = Network()
+    fw = Firewall.typical(reject=True)
+    rwcp = net.add_site("rwcp", firewall=fw)
+    etl = net.add_site("etl")
+    pa = net.add_host("pa", site=rwcp)
+    innerh = net.add_host("innerh", site=rwcp)
+    lan = net.add_router("lan", site=rwcp)
+    outerh = net.add_host("outerh", cores=2)
+    pb = net.add_host("pb", site=etl)
+    net.link(pa, lan, 1e-4, 6.9e6)
+    net.link(innerh, lan, 1e-4, 6.9e6)
+    net.link(lan, outerh, 1e-4, 6.9e6)
+    net.link(outerh, pb, 3.5e-3, 187.5e3)
+    outer = OuterServer(outerh).start()
+    inner = InnerServer(innerh)
+    inner.open_firewall_pinhole("outerh")
+    inner.start()
+    return net, fw, pa, pb, innerh, outer, inner
+
+
+def test_proxy_mode_endpoint_is_published_on_outer():
+    net, fw, pa, pb, innerh, outer, inner = make_world()
+    out = {}
+
+    def inside():
+        ctx = NexusContext(pa, outer_addr=outer.control_addr, inner_addr=inner.addr)
+        assert ctx.proxied
+        ep = yield from ctx.create_endpoint("svc")
+        assert ep.is_proxied
+        assert ep.addr.host == "outerh"
+        out["addr"] = ep.addr
+
+        delivery = yield ep.receive()
+        out["got"] = (delivery.payload, delivery.nbytes)
+
+    def outside():
+        while "addr" not in out:
+            yield net.sim.timeout(1e-3)
+        ctx = NexusContext(pb)  # open mode
+        sp = ctx.startpoint(out["addr"])
+        yield from sp.send("over the wall", nbytes=2000)
+
+    net.sim.process(inside())
+    net.sim.process(outside())
+    net.sim.run()
+    assert out["got"] == ("over the wall", 2000)
+
+
+def test_open_mode_endpoint_is_direct():
+    net, fw, pa, pb, innerh, outer, inner = make_world()
+    out = {}
+
+    def server():
+        ctx = NexusContext(pb)
+        ep = yield from ctx.create_endpoint("svc")
+        assert not ep.is_proxied
+        assert ep.addr.host == "pb"
+        out["addr"] = ep.addr
+        d = yield ep.receive()
+        out["got"] = d.payload
+
+    def client():
+        while "addr" not in out:
+            yield net.sim.timeout(1e-3)
+        # innerh is inside but outbound is allowed: direct connect works.
+        ctx = NexusContext(innerh)
+        yield from ctx.startpoint(out["addr"]).send("direct out", nbytes=100)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert out["got"] == "direct out"
+
+
+def test_port_range_mode_reproduces_globus11():
+    net, fw, pa, pb, innerh, outer, inner = make_world()
+    out = {}
+
+    def inside():
+        ctx = NexusContext(pa, port_min=40000, port_max=40004)
+        ctx.tcp.open_firewall_range()
+        ep = yield from ctx.create_endpoint("svc")
+        assert 40000 <= ep.addr.port <= 40004
+        out["addr"] = ep.addr
+        d = yield ep.receive()
+        out["got"] = d.payload
+
+    def outside():
+        while "addr" not in out:
+            yield net.sim.timeout(1e-3)
+        ctx = NexusContext(pb)
+        yield from ctx.startpoint(out["addr"]).send("through the range", nbytes=64)
+
+    net.sim.process(inside())
+    net.sim.process(outside())
+    net.sim.run()
+    assert out["got"] == "through the range"
+    # Security cost: the whole range is now exposed (plus the nxport
+    # pinhole the deployment already had).
+    assert fw.exposure() == 6
+
+
+def test_port_range_exhaustion():
+    net = Network()
+    h = net.add_host("h")
+    tcp = TcpProtocolModule(h, 50000, 50002)
+    assert tcp.range_width == 3
+    for _ in range(3):
+        tcp.listen()
+    with pytest.raises(PortRangeExhausted):
+        tcp.listen()
+
+
+def test_tcpproto_validation():
+    net = Network()
+    h = net.add_host("h")
+    with pytest.raises(ValueError):
+        TcpProtocolModule(h, 40000, None)
+    with pytest.raises(ValueError):
+        TcpProtocolModule(h, 40005, 40000)
+    assert not TcpProtocolModule(h).confined
+
+
+def test_proxy_and_port_range_exclusive():
+    net = Network()
+    h = net.add_host("h")
+    with pytest.raises(NexusError):
+        NexusContext(h, outer_addr=("o", 7000), port_min=1, port_max=2)
+
+
+def test_duplicate_endpoint_name_rejected():
+    net = Network()
+    h = net.add_host("h")
+
+    def proc():
+        ctx = NexusContext(h)
+        yield from ctx.create_endpoint("e")
+        with pytest.raises(NexusError, match="duplicate"):
+            yield from ctx.create_endpoint("e")
+        return True
+
+    p = net.sim.process(proc())
+    net.sim.run()
+    assert p.value is True
+
+
+def test_startpoint_lazy_and_cached():
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, 1e-4, 1e7)
+    out = {}
+
+    def server():
+        ctx = NexusContext(b)
+        ep = yield from ctx.create_endpoint("e")
+        out["addr"] = ep.addr
+        d1 = yield ep.receive()
+        d2 = yield ep.receive()
+        out["msgs"] = [d1.payload, d2.payload]
+        out["conns"] = ep.connections_accepted
+
+    def client():
+        while "addr" not in out:
+            yield net.sim.timeout(1e-4)
+        ctx = NexusContext(a)
+        sp1 = ctx.startpoint(out["addr"])
+        assert not sp1.connected  # lazy
+        yield from sp1.send("one", nbytes=10)
+        assert sp1.connected
+        sp2 = ctx.startpoint(out["addr"])
+        assert sp2 is sp1  # cached
+        yield from sp2.send("two", nbytes=10)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert out["msgs"] == ["one", "two"]
+    assert out["conns"] == 1  # one connection for both messages
+
+
+def test_startpoint_connect_failure():
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, 1e-4, 1e7)
+
+    def client():
+        ctx = NexusContext(a)
+        sp = ctx.startpoint(("b", 12345))  # nothing there
+        with pytest.raises(NexusError, match="failed"):
+            yield from sp.send("x", nbytes=10)
+        return True
+
+    p = net.sim.process(client())
+    net.sim.run()
+    assert p.value is True
+
+
+def test_endpoint_receive_timeout_preserves_messages():
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, 1e-4, 1e7)
+    out = {}
+
+    def server():
+        ctx = NexusContext(b)
+        ep = yield from ctx.create_endpoint("e")
+        out["addr"] = ep.addr
+        with pytest.raises(TimeoutError):
+            yield ep.receive(timeout=0.05)
+        d = yield ep.receive()
+        out["late"] = d.payload
+
+    def client():
+        while "addr" not in out:
+            yield net.sim.timeout(1e-4)
+        yield net.sim.timeout(0.2)
+        ctx = NexusContext(a)
+        yield from ctx.startpoint(out["addr"]).send("late", nbytes=10)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert out["late"] == "late"
+
+
+def test_context_shutdown_closes_everything():
+    net = Network()
+    h = net.add_host("h")
+
+    def proc():
+        ctx = NexusContext(h)
+        ep = yield from ctx.create_endpoint("e")
+        ctx.shutdown()
+        assert ep.closed
+        with pytest.raises(NexusError):
+            yield ep.receive()
+        return True
+
+    p = net.sim.process(proc())
+    net.sim.run()
+    assert p.value is True
+
+
+def test_try_receive_and_pending():
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, 1e-4, 1e7)
+    out = {}
+
+    def server():
+        ctx = NexusContext(b)
+        ep = yield from ctx.create_endpoint("e")
+        out["addr"] = ep.addr
+        assert ep.try_receive() is None
+        yield net.sim.timeout(1.0)  # let the message arrive
+        out["pending"] = ep.pending
+        d = ep.try_receive()
+        out["got"] = d.payload if d else None
+
+    def client():
+        while "addr" not in out:
+            yield net.sim.timeout(1e-4)
+        ctx = NexusContext(a)
+        yield from ctx.startpoint(out["addr"]).send("queued", nbytes=10)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert out["pending"] == 1
+    assert out["got"] == "queued"

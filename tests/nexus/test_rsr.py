@@ -1,0 +1,196 @@
+"""Remote service requests: handler registration and dispatch."""
+
+import pytest
+
+from repro.nexus import NexusContext, NexusError, RSREnvelope
+from repro.simnet import Network
+
+
+def make_pair():
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, 1e-4, 1e7)
+    return net, a, b
+
+
+def test_rsr_invokes_handler():
+    net, a, b = make_pair()
+    calls = []
+    out = {}
+
+    def handler(endpoint, payload, nbytes):
+        calls.append((payload, nbytes))
+        yield endpoint.sim.timeout(0)
+
+    def server():
+        ctx = NexusContext(b)
+        ep = yield from ctx.create_endpoint("svc")
+        ep.register_handler(7, handler)
+        out["addr"] = ep.addr
+        yield net.sim.timeout(5.0)
+        out["dispatched"] = ep.rsrs_dispatched
+        out["queued"] = ep.pending
+
+    def client():
+        while "addr" not in out:
+            yield net.sim.timeout(1e-4)
+        ctx = NexusContext(a)
+        sp = ctx.startpoint(out["addr"])
+        yield from sp.send_rsr(7, {"op": "work"}, nbytes=100)
+        yield from sp.send_rsr(7, {"op": "more"}, nbytes=50)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert [c[0] for c in calls] == [{"op": "work"}, {"op": "more"}]
+    assert all(n >= 50 for _, n in calls)
+    assert out["dispatched"] == 2
+    assert out["queued"] == 0  # handler traffic bypasses the queue
+
+
+def test_unknown_handler_falls_back_to_queue():
+    net, a, b = make_pair()
+    out = {}
+
+    def server():
+        ctx = NexusContext(b)
+        ep = yield from ctx.create_endpoint("svc")
+        out["addr"] = ep.addr
+        d = yield ep.receive()
+        out["stray"] = d.payload
+        out["unhandled"] = ep.rsrs_unhandled
+
+    def client():
+        while "addr" not in out:
+            yield net.sim.timeout(1e-4)
+        ctx = NexusContext(a)
+        yield from ctx.startpoint(out["addr"]).send_rsr(99, "lost", nbytes=10)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert isinstance(out["stray"], RSREnvelope)
+    assert out["stray"].handler_id == 99
+    assert out["unhandled"] == 1
+
+
+def test_handler_and_queue_traffic_coexist():
+    net, a, b = make_pair()
+    handled = []
+    out = {}
+
+    def handler(endpoint, payload, nbytes):
+        handled.append(payload)
+        yield endpoint.sim.timeout(0)
+
+    def server():
+        ctx = NexusContext(b)
+        ep = yield from ctx.create_endpoint("svc")
+        ep.register_handler(1, handler)
+        out["addr"] = ep.addr
+        d = yield ep.receive()
+        out["queued"] = d.payload
+
+    def client():
+        while "addr" not in out:
+            yield net.sim.timeout(1e-4)
+        ctx = NexusContext(a)
+        sp = ctx.startpoint(out["addr"])
+        yield from sp.send_rsr(1, "for-the-handler", nbytes=20)
+        yield from sp.send("for-the-queue", nbytes=20)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert handled == ["for-the-handler"]
+    assert out["queued"] == "for-the-queue"
+
+
+def test_handler_can_reply_via_startpoint():
+    """The RPC shape: request handler issues an RSR back to the caller."""
+    net, a, b = make_pair()
+    out = {}
+
+    def server():
+        ctx = NexusContext(b)
+        ep = yield from ctx.create_endpoint("svc")
+
+        def compute_handler(endpoint, payload, nbytes):
+            reply_to, x = payload
+            sp = ctx.startpoint(reply_to)
+            yield from sp.send_rsr(2, x * x, nbytes=16)
+
+        ep.register_handler(1, compute_handler)
+        out["addr"] = ep.addr
+
+    def client():
+        while "addr" not in out:
+            yield net.sim.timeout(1e-4)
+        ctx = NexusContext(a)
+        ep = yield from ctx.create_endpoint("reply")
+        done = net.sim.event()
+
+        def reply_handler(endpoint, payload, nbytes):
+            out["answer"] = payload
+            done.succeed()
+            yield endpoint.sim.timeout(0)
+
+        ep.register_handler(2, reply_handler)
+        yield from ctx.startpoint(out["addr"]).send_rsr(1, (ep.addr, 12), nbytes=32)
+        yield done
+
+    net.sim.process(server())
+    p = net.sim.process(client())
+    net.sim.run(until=p)
+    assert out["answer"] == 144
+
+
+def test_duplicate_handler_rejected():
+    net, a, b = make_pair()
+
+    def proc():
+        ctx = NexusContext(b)
+        ep = yield from ctx.create_endpoint("svc")
+        ep.register_handler(1, lambda e, p, n: iter(()))
+        with pytest.raises(NexusError, match="already registered"):
+            ep.register_handler(1, lambda e, p, n: iter(()))
+        ep.unregister_handler(1)
+        ep.register_handler(1, lambda e, p, n: iter(()))  # fine now
+        ep.unregister_handler(42)  # unknown id: no-op
+        return True
+
+    p = net.sim.process(proc())
+    net.sim.run()
+    assert p.value is True
+
+
+def test_rsr_through_the_proxy():
+    """Handlers fire across the firewall like everything else."""
+    from repro.cluster import Testbed
+
+    tb = Testbed()
+    out = {}
+
+    def inside():
+        ctx = NexusContext(tb.rwcp_sun, **tb.proxy_addrs)
+        ep = yield from ctx.create_endpoint("svc")
+
+        def handler(endpoint, payload, nbytes):
+            out["payload"] = payload
+            yield endpoint.sim.timeout(0)
+
+        ep.register_handler(5, handler)
+        out["addr"] = ep.addr
+
+    def outside():
+        while "addr" not in out:
+            yield tb.sim.timeout(1e-3)
+        ctx = NexusContext(tb.etl_sun)
+        yield from ctx.startpoint(out["addr"]).send_rsr(5, "over the wall", nbytes=64)
+        yield tb.sim.timeout(1.0)
+
+    tb.sim.process(inside())
+    p = tb.sim.process(outside())
+    tb.sim.run(until=p)
+    assert out["payload"] == "over the wall"

@@ -1,0 +1,153 @@
+"""Resource allocator: placement policy and wire protocol."""
+
+import pytest
+
+from repro.rmf.allocator import ResourceAllocator
+from repro.rmf.jobs import JobSpec, RMFError
+from repro.simnet import Network
+
+
+def make_allocator():
+    net = Network()
+    h = net.add_host("alloc-host")
+    alloc = ResourceAllocator(h)
+    alloc.add_resource("compas", "compas-0", 7200, cpus=8, cpu_speed=0.5)
+    alloc.add_resource("rwcp-sun", "rwcp-sun", 7200, cpus=4, cpu_speed=1.0)
+    alloc.add_resource("etl-o2k", "etl-o2k", 7200, cpus=8, cpu_speed=0.9)
+    return net, alloc
+
+
+def test_pinned_resource():
+    _, alloc = make_allocator()
+    spec = JobSpec(executable="x", count=4, resource="rwcp-sun")
+    [a] = alloc.select(spec)
+    assert a.resource == "rwcp-sun" and a.nprocs == 4
+
+
+def test_pinned_resource_too_small():
+    _, alloc = make_allocator()
+    with pytest.raises(RMFError, match="has 4 cpus"):
+        alloc.select(JobSpec(executable="x", count=5, resource="rwcp-sun"))
+
+
+def test_pinned_resource_unknown():
+    _, alloc = make_allocator()
+    with pytest.raises(RMFError, match="no such resource"):
+        alloc.select(JobSpec(executable="x", count=1, resource="ghost"))
+
+
+def test_single_resource_fit_prefers_big_idle_resource():
+    _, alloc = make_allocator()
+    [a] = alloc.select(JobSpec(executable="x", count=8))
+    assert a.resource == "compas"  # 8 cpus, load 0, registered first
+
+
+def test_spreads_across_resources_when_needed():
+    _, alloc = make_allocator()
+    assignments = alloc.select(JobSpec(executable="x", count=20))
+    assert sum(a.nprocs for a in assignments) == 20
+    assert {a.resource for a in assignments} == {"compas", "rwcp-sun", "etl-o2k"}
+    for a in assignments:
+        assert a.nprocs <= {"compas": 8, "rwcp-sun": 4, "etl-o2k": 8}[a.resource]
+
+
+def test_overcommit_rejected():
+    _, alloc = make_allocator()
+    with pytest.raises(RMFError, match="only 20 cpus"):
+        alloc.select(JobSpec(executable="x", count=21))
+
+
+def test_load_steering():
+    _, alloc = make_allocator()
+    alloc.resources["compas"].running = 5
+    alloc.resources["etl-o2k"].running = 1
+    [a] = alloc.select(JobSpec(executable="x", count=4))
+    assert a.resource == "rwcp-sun"  # the only idle one
+
+
+def test_no_resources():
+    net = Network()
+    alloc = ResourceAllocator(net.add_host("h"))
+    with pytest.raises(RMFError, match="no resources"):
+        alloc.select(JobSpec(executable="x"))
+
+
+def test_duplicate_resource_rejected():
+    _, alloc = make_allocator()
+    with pytest.raises(RMFError, match="duplicate"):
+        alloc.add_resource("compas", "again", 7200, cpus=1)
+
+
+def test_wire_protocol_register_load_alloc():
+    from repro.rmf.allocator import AllocReply, AllocRequest, LoadReport, RegisterResource
+
+    net = Network()
+    ah = net.add_host("alloc-host")
+    client_h = net.add_host("client")
+    net.link(ah, client_h, 1e-4, 1e7)
+    alloc = ResourceAllocator(ah).start()
+    out = {}
+
+    def client():
+        conn = yield from client_h.connect(alloc.addr)
+        yield conn.send(RegisterResource("r1", "host1", 7200, cpus=4))
+        yield conn.send(RegisterResource("r2", "host2", 7200, cpus=2))
+        yield conn.send(LoadReport("r1", running=3, queued=2))
+        yield conn.send(AllocRequest(JobSpec(executable="x", count=2)))
+        msg = yield conn.recv()
+        out["reply"] = msg.payload
+        conn.close()
+
+    net.sim.process(client())
+    net.sim.run()
+    reply = out["reply"]
+    assert reply.ok
+    [a] = reply.assignments
+    assert a.resource == "r2"  # r1 is loaded
+    assert alloc.requests_served == 1
+    # Optimistic load accounting bumped r2's queue.
+    assert alloc.resources["r2"].queued == 1
+
+
+def test_wire_protocol_bad_request():
+    net = Network()
+    ah = net.add_host("alloc-host")
+    ch = net.add_host("client")
+    net.link(ah, ch, 1e-4, 1e7)
+    alloc = ResourceAllocator(ah).start()
+    out = {}
+
+    def client():
+        conn = yield from ch.connect(alloc.addr)
+        yield conn.send(12345)
+        msg = yield conn.recv()
+        out["reply"] = msg.payload
+        conn.close()
+
+    net.sim.process(client())
+    net.sim.run()
+    assert not out["reply"].ok
+    assert "bad request" in out["reply"].error
+
+
+def test_alloc_failure_reported_on_wire():
+    from repro.rmf.allocator import AllocRequest
+
+    net = Network()
+    ah = net.add_host("alloc-host")
+    ch = net.add_host("client")
+    net.link(ah, ch, 1e-4, 1e7)
+    alloc = ResourceAllocator(ah).start()  # no resources registered
+    out = {}
+
+    def client():
+        conn = yield from ch.connect(alloc.addr)
+        yield conn.send(AllocRequest(JobSpec(executable="x")))
+        msg = yield conn.recv()
+        out["reply"] = msg.payload
+        conn.close()
+
+    net.sim.process(client())
+    net.sim.run()
+    assert not out["reply"].ok
+    assert "no resources" in out["reply"].error

@@ -1,0 +1,138 @@
+"""Job cancellation through the Q system."""
+
+import pytest
+
+from repro.rmf import JobSpec, JobState, QClient, QServer
+from repro.simnet import Network
+
+
+def make_pair(slots=1):
+    net = Network()
+    server_h = net.add_host("resource", cores=2)
+    client_h = net.add_host("submitter")
+    net.link(server_h, client_h, 1e-4, 1e7)
+    qs = QServer(server_h, slots=slots).start()
+    qc = QClient(client_h)
+    return net, qs, qc
+
+
+def test_cancel_running_job():
+    net, qs, qc = make_pair()
+
+    def flow():
+        handle = yield from qc.submit_handle(
+            ("resource", qs.port), JobSpec(executable="sleep", arguments=("100",))
+        )
+        yield net.sim.timeout(5.0)  # the job is running by now
+        yield from handle.cancel()
+        result = yield from handle.wait()
+        return result
+
+    p = net.sim.process(flow())
+    result = net.sim.run(until=p)
+    assert result.state is JobState.FAILED
+    assert "cancelled" in result.error
+    # The cancel ended the run long before the 100 s sleep.
+    assert net.sim.now < 20.0
+    assert qs.jobs_cancelled == 1
+
+
+def test_cancel_queued_job():
+    net, qs, qc = make_pair(slots=1)
+
+    def blocker():
+        res = yield from qc.submit(
+            ("resource", qs.port), JobSpec(executable="sleep", arguments=("30",))
+        )
+        return res
+
+    def flow():
+        yield net.sim.timeout(1.0)  # let the blocker occupy the slot
+        handle = yield from qc.submit_handle(
+            ("resource", qs.port), JobSpec(executable="sleep", arguments=("30",))
+        )
+        yield net.sim.timeout(1.0)
+        yield from handle.cancel()
+        result = yield from handle.wait()
+        return result
+
+    blocked = net.sim.process(blocker())
+    p = net.sim.process(flow())
+    net.sim.run()
+    assert p.value.state is JobState.FAILED
+    assert "cancelled" in p.value.error
+    # The queued job never ran; the blocker completed normally.
+    assert blocked.value.ok
+    assert qs.jobs_run == 1
+
+
+def test_cancel_after_completion_is_noop():
+    net, qs, qc = make_pair()
+
+    def flow():
+        handle = yield from qc.submit_handle(
+            ("resource", qs.port), JobSpec(executable="echo", arguments=("fast",))
+        )
+        result = yield from handle.wait()
+        yield from handle.cancel()  # nothing to do
+        again = yield from handle.wait()  # idempotent
+        return result, again
+
+    p = net.sim.process(flow())
+    net.sim.run()
+    result, again = p.value
+    assert result.ok and result is again
+    assert qs.jobs_cancelled == 0
+
+
+def test_slot_freed_after_cancel():
+    """A cancelled job releases its slot for the next one."""
+    net, qs, qc = make_pair(slots=1)
+
+    def flow():
+        handle = yield from qc.submit_handle(
+            ("resource", qs.port), JobSpec(executable="sleep", arguments=("1000",))
+        )
+        yield net.sim.timeout(2.0)
+        yield from handle.cancel()
+        yield from handle.wait()
+        result = yield from qc.submit(
+            ("resource", qs.port), JobSpec(executable="echo", arguments=("next",))
+        )
+        return result
+
+    p = net.sim.process(flow())
+    result = net.sim.run(until=p)
+    assert result.ok
+    assert result.stdout == "next\n"
+    assert net.sim.now < 30.0
+
+
+def test_job_may_catch_the_interrupt():
+    """An executable can trap cancellation and clean up."""
+    from repro.simnet.kernel import Interrupt
+
+    net, qs, qc = make_pair()
+
+    def stubborn(ctx):
+        try:
+            yield ctx.sim.timeout(1000)
+        except Interrupt:
+            ctx.write("cleaned up\n")
+            return 0  # exits gracefully
+
+    qs.registry.register("stubborn", stubborn)
+
+    def flow():
+        handle = yield from qc.submit_handle(
+            ("resource", qs.port), JobSpec(executable="stubborn")
+        )
+        yield net.sim.timeout(2.0)
+        yield from handle.cancel()
+        return (yield from handle.wait())
+
+    p = net.sim.process(flow())
+    net.sim.run()
+    # Graceful trap: the job DONE with its cleanup output.
+    assert p.value.state is JobState.DONE
+    assert p.value.stdout == "cleaned up\n"

@@ -1,0 +1,196 @@
+"""DUROC-style co-allocation: multi-gatekeeper MPI job startup."""
+
+import pytest
+
+from repro.cluster import Testbed
+from repro.mpi.collectives import allreduce, gather
+from repro.nexus import NexusContext
+from repro.rmf import RMFError, RMFSystem
+from repro.rmf.duroc import (
+    RendezvousServer,
+    SubJob,
+    co_allocate,
+    make_mpi_executable,
+)
+
+
+def test_rendezvous_releases_when_world_complete():
+    from repro.simnet import Network
+
+    net = Network()
+    server_h = net.add_host("rv")
+    hosts = [net.add_host(f"h{i}") for i in range(3)]
+    switch = net.add_router("switch")
+    for h in (server_h, *hosts):
+        net.link(h, switch, 1e-4, 1e7)
+    rv = RendezvousServer(server_h).start()
+    from repro.rmf.duroc import _rendezvous
+    from repro.simnet.socket import Address
+
+    tables = {}
+
+    def joiner(i, delay):
+        yield net.sim.timeout(delay)
+        addrs = yield from _rendezvous(
+            hosts[i], rv.addr, "job-1", i, 3, Address(f"h{i}", 1000 + i)
+        )
+        tables[i] = (addrs, net.sim.now)
+
+    for i, delay in enumerate([0.0, 0.5, 1.0]):
+        net.sim.process(joiner(i, delay))
+    net.sim.run()
+    # Everyone released together, after the last joiner.
+    release_times = [t for _, t in tables.values()]
+    assert min(release_times) >= 1.0
+    expected = [Address(f"h{i}", 1000 + i) for i in range(3)]
+    for addrs, _ in tables.values():
+        assert addrs == expected
+    assert rv.jobs_completed == 1
+
+
+def test_rendezvous_rejects_inconsistencies():
+    from repro.simnet import Network
+    from repro.rmf.duroc import _rendezvous
+    from repro.simnet.socket import Address
+
+    net = Network()
+    server_h = net.add_host("rv")
+    a = net.add_host("a")
+    b = net.add_host("b")
+    switch = net.add_router("s")
+    for h in (server_h, a, b):
+        net.link(h, switch, 1e-4, 1e7)
+    rv = RendezvousServer(server_h).start()
+
+    def first():
+        # Parks waiting for the rest of a 2-rank world.
+        yield from _rendezvous(a, rv.addr, "j", 0, 2, Address("a", 1))
+
+    def mismatched_world():
+        with pytest.raises(RMFError, match="world-size mismatch"):
+            yield from _rendezvous(b, rv.addr, "j", 1, 3, Address("b", 1))
+        with pytest.raises(RMFError, match="duplicate rank"):
+            yield from _rendezvous(b, rv.addr, "j", 0, 2, Address("b", 1))
+        # Finally join correctly, releasing both.
+        addrs = yield from _rendezvous(b, rv.addr, "j", 1, 2, Address("b", 2))
+        return addrs
+
+    net.sim.process(first())
+    p = net.sim.process(mismatched_world())
+    net.sim.run()
+    assert p.value == [Address("a", 1), Address("b", 2)]
+
+
+@pytest.fixture
+def dual_gram_testbed():
+    """Two RMF deployments on one testbed: one fronting the firewalled
+    RWCP resources, one fronting ETL."""
+    tb = Testbed()
+    rv = RendezvousServer(tb.outer_host).start()
+
+    rmf_rwcp = RMFSystem(tb.outer_host, tb.inner_host)
+    rmf_rwcp.gatekeeper.port = 2119
+    rmf_rwcp.add_resource(tb.rwcp_sun, name="RWCP-Sun", cpus=4)
+
+    from repro.rmf.gatekeeper import Gatekeeper
+    from repro.rmf.allocator import ResourceAllocator
+
+    alloc_etl = ResourceAllocator(tb.etl_sun, port=7301)
+    gk_etl = Gatekeeper(tb.etl_sun, alloc_etl.addr, port=2120)
+    from repro.rmf.qsystem import QServer
+
+    qs_etl = QServer(tb.etl_o2k, resource_name="ETL-O2K", cpus=8)
+    alloc_etl.add_resource("ETL-O2K", tb.etl_o2k.name, qs_etl.port, cpus=8)
+
+    rmf_rwcp.start()
+    alloc_etl.start()
+    gk_etl.start()
+    qs_etl.start()
+    return tb, rv, rmf_rwcp, gk_etl, qs_etl
+
+
+def test_co_allocated_cross_site_mpi_job(dual_gram_testbed):
+    """One client call starts a 4-rank MPI world spanning two
+    gatekeepers, with the RWCP ranks publishing through the proxy."""
+    tb, rv, rmf_rwcp, gk_etl, qs_etl = dual_gram_testbed
+
+    def rank_main(comm):
+        names = yield from gather(comm, comm.host.name, root=0)
+        total = yield from allreduce(comm, comm.rank, lambda a, b: a + b)
+        return (total, names)
+
+    proxied = tb.proxy_addrs
+
+    def rwcp_factory(host):
+        return NexusContext(host, **proxied)
+
+    # Each deployment's registry gets the executable with the right
+    # proxy wiring for its site.
+    rmf_rwcp.registry.register(
+        "mpi-app",
+        make_mpi_executable(rank_main, rv.addr, context_factory=rwcp_factory),
+    )
+    qs_etl.registry.register(
+        "mpi-app", make_mpi_executable(rank_main, rv.addr)
+    )
+
+    def client():
+        replies = yield from co_allocate(
+            tb.etl_sun,
+            [
+                SubJob(
+                    rmf_rwcp.gatekeeper.addr,
+                    "&(executable=mpi-app)(count=2)(arguments=job42 4 0)"
+                    "(resource=RWCP-Sun)",
+                ),
+                SubJob(
+                    gk_etl.addr,
+                    "&(executable=mpi-app)(count=2)(arguments=job42 4 2)"
+                    "(resource=ETL-O2K)",
+                ),
+            ],
+        )
+        return replies
+
+    p = tb.sim.process(client())
+    replies = tb.sim.run(until=p)
+    assert all(r.all_succeeded for r in replies)
+    stdout = "".join(r.stdout for r in replies)
+    # Every rank computed allreduce(0+1+2+3) = 6 over the full world.
+    assert stdout.count(": (6,") == 4
+    # Rank 0 gathered hostnames from both sites.
+    assert "rwcp-sun" in stdout and "etl-o2k" in stdout
+    assert rv.jobs_completed == 1
+
+
+def test_co_allocate_validation():
+    tb = Testbed()
+
+    def run():
+        with pytest.raises(RMFError, match="at least one"):
+            yield from co_allocate(tb.etl_sun, [])
+        return True
+
+    p = tb.sim.process(run())
+    tb.sim.run()
+    assert p.value is True
+
+
+def test_partial_failure_is_visible(dual_gram_testbed):
+    """A bad sub-job RSL fails its reply without hanging the rest."""
+    tb, rv, rmf_rwcp, gk_etl, qs_etl = dual_gram_testbed
+
+    def client():
+        replies = yield from co_allocate(
+            tb.etl_sun,
+            [
+                SubJob(rmf_rwcp.gatekeeper.addr, "&(executable=echo)(arguments=ok)"),
+                SubJob(gk_etl.addr, "&(count=broken)"),
+            ],
+        )
+        return replies
+
+    p = tb.sim.process(client())
+    replies = tb.sim.run(until=p)
+    assert replies[0].all_succeeded
+    assert not replies[1].ok

@@ -1,0 +1,155 @@
+"""Figure 2 end-to-end: the full six-step RMF submission flow,
+through a deny-based firewall."""
+
+import pytest
+
+from repro.rmf import RMFError, RMFSystem, parse_rsl, submit_job
+from repro.simnet import Firewall, FirewallBlocked, Network
+
+
+def make_deployment(gridmap=None):
+    """Gatekeeper outside; allocator + two cluster resources inside."""
+    net = Network()
+    fw = Firewall.typical(reject=True)
+    site = net.add_site("rwcp", firewall=fw)
+    lan = net.add_router("lan", site=site)
+    alloc_h = net.add_host("alloc-host", site=site)
+    compas = net.add_host("compas", site=site, cpu_speed=0.5, cores=8)
+    sun = net.add_host("rwcp-sun", site=site, cpu_speed=1.0, cores=4)
+    gk_h = net.add_host("gatekeeper-host")
+    user_h = net.add_host("user")
+    for h in (alloc_h, compas, sun):
+        net.link(h, lan, 1e-4, 6.9e6)
+    net.link(lan, gk_h, 1e-3, 1e6)
+    net.link(gk_h, user_h, 5e-3, 187.5e3)
+
+    rmf = RMFSystem(gk_h, alloc_h, gridmap=gridmap)
+    rmf.add_resource(compas, name="COMPaS", cpus=8)
+    rmf.add_resource(sun, name="RWCP-Sun", cpus=4)
+    rmf.start()
+    return net, fw, rmf, user_h
+
+
+def submit(net, rmf, user_h, rsl, subject="anonymous"):
+    p = net.sim.process(rmf.submit(user_h, rsl, subject))
+    net.sim.run()
+    return p.value
+
+
+def test_six_step_flow_echo():
+    net, fw, rmf, user_h = make_deployment()
+    reply = submit(net, rmf, user_h, "&(executable=echo)(arguments=grid hello)")
+    assert reply.ok and reply.all_succeeded
+    assert reply.stdout == "grid hello\n"
+    assert rmf.gatekeeper.requests_handled == 1
+    assert rmf.allocator.requests_served == 1
+
+
+def test_job_runs_inside_the_firewall():
+    """The whole point: the resource is unreachable directly, yet
+    serves jobs through RMF."""
+    net, fw, rmf, user_h = make_deployment()
+
+    def direct_attempt():
+        with pytest.raises(FirewallBlocked):
+            yield from user_h.connect(("compas", 7200))
+        return True
+
+    p = net.sim.process(direct_attempt())
+    net.sim.run()
+    assert p.value is True
+
+    reply = submit(net, rmf, user_h, "&(executable=echo)(arguments=via rmf)(resource=COMPaS)")
+    assert reply.all_succeeded
+    assert reply.results[0].resource == "compas"
+
+
+def test_pinned_resource_respected():
+    net, fw, rmf, user_h = make_deployment()
+    reply = submit(net, rmf, user_h, "&(executable=sleep)(arguments=1)(resource=RWCP-Sun)")
+    assert reply.all_succeeded
+    assert reply.results[0].resource == "rwcp-sun"
+
+
+def test_multi_resource_fanout():
+    """A 12-way job does not fit one resource: the allocator splits it
+    and the job manager collects both sub-results."""
+    net, fw, rmf, user_h = make_deployment()
+    reply = submit(net, rmf, user_h, "&(executable=echo)(count=12)(arguments=part)")
+    assert reply.ok
+    assert len(reply.results) == 2
+    assert {r.resource for r in reply.results} == {"compas", "rwcp-sun"}
+    assert reply.all_succeeded
+
+
+def test_authentication_gridmap():
+    net, fw, rmf, user_h = make_deployment(gridmap={"/O=Grid/CN=alice": "alice"})
+    denied = submit(net, rmf, user_h, "&(executable=echo)", subject="/O=Grid/CN=mallory")
+    assert not denied.ok
+    assert "authentication failed" in denied.error
+    assert rmf.gatekeeper.auth_failures == 1
+
+    allowed = submit(net, rmf, user_h, "&(executable=echo)(arguments=hi)",
+                     subject="/O=Grid/CN=alice")
+    assert allowed.all_succeeded
+
+
+def test_bad_rsl_reported():
+    net, fw, rmf, user_h = make_deployment()
+    reply = submit(net, rmf, user_h, "&(count=2)")
+    assert not reply.ok
+    assert "executable" in reply.error
+
+
+def test_unallocatable_job_reported():
+    net, fw, rmf, user_h = make_deployment()
+    reply = submit(net, rmf, user_h, "&(executable=echo)(count=999)")
+    assert not reply.ok
+    assert "allocation failed" in reply.error
+
+
+def test_file_staging_through_the_flow():
+    net, fw, rmf, user_h = make_deployment()
+    rmf.gatekeeper.staging.put("data.txt", "payload from outside")
+    reply = submit(
+        net, rmf, user_h,
+        "&(executable=cat)(arguments=data.txt)(stage_in=data.txt)(resource=COMPaS)",
+    )
+    assert reply.all_succeeded
+    assert reply.stdout == "payload from outside"
+
+
+def test_failed_subjob_visible_in_reply():
+    net, fw, rmf, user_h = make_deployment()
+    reply = submit(net, rmf, user_h, "&(executable=false)")
+    assert reply.ok  # the *flow* worked
+    assert not reply.all_succeeded  # but the job exited 1
+    assert reply.results[0].exit_code == 1
+
+
+def test_pinholes_are_minimal():
+    """RMF opens exactly three pinholes (allocator + 2 Q servers), all
+    pinned to the gatekeeper host."""
+    net, fw, rmf, user_h = make_deployment()
+    # Three pinned rules; two distinct port numbers (both Q servers
+    # share 7200 on different hosts).
+    assert len(fw.rules) == 3
+    assert fw.exposure() == 2
+    for rule in fw.rules:
+        assert rule.src_host == "gatekeeper-host"
+        assert rule.dst_host is not None
+
+
+def test_concurrent_submissions_spread_by_load():
+    net, fw, rmf, user_h = make_deployment()
+    results = {}
+
+    def one(i):
+        reply = yield from rmf.submit(user_h, "&(executable=sleep)(arguments=5)")
+        results[i] = reply.results[0].resource
+
+    for i in range(2):
+        net.sim.process(one(i))
+    net.sim.run()
+    # Optimistic load accounting sends the second job elsewhere.
+    assert set(results.values()) == {"compas", "rwcp-sun"}

@@ -1,0 +1,126 @@
+"""Job lifecycle and GASS file-store tests."""
+
+import pytest
+
+from repro.rmf.gass import FileStore, StagingError
+from repro.rmf.jobs import JobRecord, JobSpec, JobState, RMFError
+
+
+# -- JobSpec ------------------------------------------------------------------
+
+
+def test_spec_validation():
+    with pytest.raises(RMFError):
+        JobSpec(executable="")
+    with pytest.raises(RMFError):
+        JobSpec(executable="x", count=0)
+    with pytest.raises(RMFError):
+        JobSpec(executable="x", max_time=0)
+
+
+def test_spec_defaults():
+    s = JobSpec(executable="echo")
+    assert s.count == 1 and s.resource is None and s.stage_in == ()
+
+
+# -- JobRecord lifecycle --------------------------------------------------------
+
+
+def make_record():
+    return JobRecord(job_id=1, spec=JobSpec(executable="echo"), submitted_at=10.0)
+
+
+def test_happy_path_transitions():
+    r = make_record()
+    assert r.state is JobState.PENDING
+    r.mark_active(now=12.0)
+    assert r.state is JobState.ACTIVE
+    r.mark_done(now=15.0, exit_code=0, stdout="hi\n")
+    assert r.state is JobState.DONE
+    assert r.queued_time == pytest.approx(2.0)
+    assert r.run_time == pytest.approx(3.0)
+
+
+def test_failure_from_pending_and_active():
+    r = make_record()
+    r.mark_failed(now=11.0, error="no executable")
+    assert r.state is JobState.FAILED
+    assert r.exit_code == 1
+
+    r2 = make_record()
+    r2.mark_active(now=11.0)
+    r2.mark_failed(now=12.0, error="crash")
+    assert r2.state is JobState.FAILED
+
+
+def test_illegal_transitions_rejected():
+    r = make_record()
+    with pytest.raises(RMFError):
+        r.mark_done(now=1.0, exit_code=0, stdout="")
+    r.mark_active(now=1.0)
+    with pytest.raises(RMFError):
+        r.mark_active(now=2.0)
+    r.mark_done(now=2.0, exit_code=0, stdout="")
+    with pytest.raises(RMFError):
+        r.mark_failed(now=3.0, error="too late")
+
+
+def test_terminal_property():
+    assert JobState.DONE.terminal and JobState.FAILED.terminal
+    assert not JobState.PENDING.terminal and not JobState.ACTIVE.terminal
+
+
+# -- FileStore -------------------------------------------------------------------
+
+
+def test_put_get_text_and_bytes():
+    fs = FileStore("h")
+    fs.put("a.txt", "hello")
+    fs.put("b.bin", b"\x00\x01")
+    assert fs.get_text("a.txt") == "hello"
+    assert fs.get("b.bin") == b"\x00\x01"
+    assert fs.size("a.txt") == 5
+    assert fs.names() == ["a.txt", "b.bin"]
+    assert len(fs) == 2
+
+
+def test_missing_file_raises():
+    fs = FileStore("h")
+    with pytest.raises(StagingError, match="no such file"):
+        fs.get("ghost")
+
+
+def test_empty_name_rejected():
+    fs = FileStore("h")
+    with pytest.raises(StagingError):
+        fs.put("", "x")
+
+
+def test_delete_and_exists():
+    fs = FileStore("h")
+    fs.put("x", "1")
+    assert fs.exists("x")
+    fs.delete("x")
+    assert not fs.exists("x")
+    fs.delete("x")  # idempotent
+
+
+def test_bundle_roundtrip():
+    src = FileStore("src")
+    src.put("in1", "aaa")
+    src.put("in2", b"bbbb")
+    bundle = src.bundle(["in1", "in2"])
+    dst = FileStore("dst")
+    dst.unbundle(bundle)
+    assert dst.get_text("in1") == "aaa"
+    assert dst.get("in2") == b"bbbb"
+
+
+def test_bundle_missing_file_raises():
+    with pytest.raises(StagingError):
+        FileStore("src").bundle(["nope"])
+
+
+def test_bundle_bytes_accounts_headers():
+    assert FileStore.bundle_bytes({"a": b"xyz", "b": b""}) == 3 + 2 * 64
+    assert FileStore.bundle_bytes({}) == 0

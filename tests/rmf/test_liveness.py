@@ -1,0 +1,91 @@
+"""Dynamic registration, heartbeats, and liveness-based placement."""
+
+import pytest
+
+from repro.rmf import JobSpec, QServer, RMFError, ResourceAllocator
+from repro.simnet import Network
+
+
+def make_world():
+    net = Network()
+    alloc_h = net.add_host("alloc-host")
+    r1 = net.add_host("res-1", cores=4)
+    r2 = net.add_host("res-2", cores=4)
+    switch = net.add_router("switch")
+    for h in (alloc_h, r1, r2):
+        net.link(h, switch, 1e-4, 1e7)
+    alloc = ResourceAllocator(alloc_h, liveness_timeout=25.0).start()
+    qs1 = QServer(r1, resource_name="R1", allocator_addr=alloc.addr,
+                  heartbeat_interval=10.0).start()
+    qs2 = QServer(r2, resource_name="R2", allocator_addr=alloc.addr,
+                  heartbeat_interval=10.0).start()
+    return net, alloc, qs1, qs2, r1, r2
+
+
+def test_dynamic_registration_via_heartbeat():
+    net, alloc, qs1, qs2, r1, r2 = make_world()
+    net.sim.run(until=1.0)
+    assert set(alloc.resources) == {"R1", "R2"}
+    assert alloc.resources["R1"].cpus == 4
+
+
+def test_heartbeats_keep_resources_alive():
+    net, alloc, qs1, qs2, r1, r2 = make_world()
+    net.sim.run(until=100.0)
+    assert qs1.heartbeats_sent >= 9
+    spec = JobSpec(executable="echo", count=8)
+    assignments = alloc.select(spec)
+    assert {a.resource for a in assignments} == {"R1", "R2"}
+
+
+def test_crashed_resource_excluded_after_timeout():
+    net, alloc, qs1, qs2, r1, r2 = make_world()
+    net.sim.run(until=5.0)
+    r1.crash()
+    net.sim.run(until=60.0)  # > liveness_timeout past the last beat
+    [a] = alloc.select(JobSpec(executable="echo", count=4))
+    assert a.resource == "R2"
+    with pytest.raises(RMFError, match="not responding"):
+        alloc.select(JobSpec(executable="echo", count=4, resource="R1"))
+
+
+def test_all_resources_dead():
+    net, alloc, qs1, qs2, r1, r2 = make_world()
+    net.sim.run(until=5.0)
+    r1.crash()
+    r2.crash()
+    net.sim.run(until=60.0)
+    with pytest.raises(RMFError, match="no live resources"):
+        alloc.select(JobSpec(executable="echo", count=1))
+
+
+def test_recovered_resource_rejoins():
+    net, alloc, qs1, qs2, r1, r2 = make_world()
+    net.sim.run(until=5.0)
+    r1.crash()
+    net.sim.run(until=60.0)
+    # Bring the machine and a fresh daemon back.
+    r1.recover()
+    qs1b = QServer(r1, resource_name="R1", allocator_addr=alloc.addr,
+                   heartbeat_interval=10.0).start()
+    net.sim.run(until=80.0)
+    assignments = alloc.select(JobSpec(executable="echo", count=8))
+    assert {a.resource for a in assignments} == {"R1", "R2"}
+
+
+def test_heartbeat_survives_allocator_restart():
+    net, alloc, qs1, qs2, r1, r2 = make_world()
+    net.sim.run(until=5.0)
+    alloc.stop()
+    net.sim.run(until=40.0)  # heartbeats fail silently, keep retrying
+    alloc2 = ResourceAllocator(alloc.host, liveness_timeout=25.0).start()
+    net.sim.run(until=80.0)
+    # Both servers re-registered with the new allocator instance.
+    assert set(alloc2.resources) == {"R1", "R2"}
+
+
+def test_heartbeat_interval_validation():
+    net = Network()
+    h = net.add_host("h")
+    with pytest.raises(RMFError):
+        QServer(h, heartbeat_interval=0)

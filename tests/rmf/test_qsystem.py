@@ -1,0 +1,189 @@
+"""Q server / Q client tests."""
+
+import pytest
+
+from repro.rmf import FileStore, JobSpec, JobState, QClient, QServer, RMFError
+from repro.rmf.executables import default_registry
+from repro.simnet import Network
+
+
+def make_pair(slots=1, cores=2):
+    net = Network()
+    server_h = net.add_host("resource", cores=cores)
+    client_h = net.add_host("submitter")
+    net.link(server_h, client_h, 1e-4, 1e7)
+    qs = QServer(server_h, slots=slots).start()
+    qc = QClient(client_h)
+    return net, qs, qc
+
+
+def run_submit(net, qc, qs, spec, nprocs=1):
+    p = net.sim.process(qc.submit(("resource", qs.port), spec, nprocs=nprocs))
+    net.sim.run()
+    return p.value
+
+
+def test_echo_job():
+    net, qs, qc = make_pair()
+    res = run_submit(net, qc, qs, JobSpec(executable="echo", arguments=("hi", "there")))
+    assert res.ok
+    assert res.stdout == "hi there\n"
+    assert res.state is JobState.DONE
+    assert qs.jobs_run == 1
+
+
+def test_sleep_job_takes_time():
+    net, qs, qc = make_pair()
+    res = run_submit(net, qc, qs, JobSpec(executable="sleep", arguments=("5",)))
+    assert res.ok
+    assert res.run_time == pytest.approx(5.0, abs=0.1)
+
+
+def test_spin_scales_with_cpu_speed():
+    net = Network()
+    slow = net.add_host("resource", cpu_speed=0.5)
+    client_h = net.add_host("submitter")
+    net.link(slow, client_h, 1e-4, 1e7)
+    qs = QServer(slow).start()
+    qc = QClient(client_h)
+    res = run_submit(net, qc, qs, JobSpec(executable="spin", arguments=("2",)))
+    # 2 reference-seconds on a half-speed host = 4 s.
+    assert res.run_time == pytest.approx(4.0, abs=0.1)
+
+
+def test_unknown_executable_fails_fast():
+    net, qs, qc = make_pair()
+    res = run_submit(net, qc, qs, JobSpec(executable="sl"))
+    assert not res.ok
+    assert res.state is JobState.FAILED
+    assert res.exit_code == 127
+    assert "no such executable" in res.error
+
+
+def test_nonzero_exit_code():
+    net, qs, qc = make_pair()
+    res = run_submit(net, qc, qs, JobSpec(executable="false"))
+    assert res.state is JobState.DONE
+    assert res.exit_code == 1
+    assert not res.ok
+
+
+def test_crashing_executable_reports_failure():
+    net, qs, qc = make_pair()
+
+    def boom(ctx):
+        yield ctx.sim.timeout(1)
+        raise RuntimeError("kaboom")
+
+    qs.registry.register("boom", boom)
+    res = run_submit(net, qc, qs, JobSpec(executable="boom"))
+    assert res.state is JobState.FAILED
+    assert "kaboom" in res.error
+    # The server survives and runs the next job.
+    res2 = run_submit(net, qc, qs, JobSpec(executable="echo", arguments=("ok",)))
+    assert res2.ok
+
+
+def test_stage_in_and_out():
+    net, qs, qc = make_pair()
+    qc.staging.put("input.txt", "staged content")
+
+    def copier(ctx):
+        ctx.files.put("output.txt", ctx.files.get_text("input.txt").upper())
+        yield ctx.sim.timeout(0)
+
+    qs.registry.register("copier", copier)
+    spec = JobSpec(
+        executable="copier", stage_in=("input.txt",), stage_out=("output.txt",)
+    )
+    res = run_submit(net, qc, qs, spec)
+    assert res.ok
+    assert res.output_files["output.txt"] == b"STAGED CONTENT"
+    # The output landed back in the client's staging store too.
+    assert qc.staging.get_text("output.txt") == "STAGED CONTENT"
+
+
+def test_stage_in_missing_file_raises_client_side():
+    net, qs, qc = make_pair()
+    spec = JobSpec(executable="echo", stage_in=("ghost.txt",))
+
+    def submitter():
+        with pytest.raises(Exception, match="no such file"):
+            yield from qc.submit(("resource", qs.port), spec)
+        return True
+
+    p = net.sim.process(submitter())
+    net.sim.run()
+    assert p.value is True
+
+
+def test_jobs_queue_fifo_with_one_slot():
+    net, qs, qc = make_pair(slots=1)
+    results = {}
+
+    def submit(i):
+        res = yield from qc.submit(
+            ("resource", qs.port), JobSpec(executable="sleep", arguments=("10",))
+        )
+        results[i] = (res, net.sim.now)
+
+    for i in range(3):
+        net.sim.process(submit(i))
+    net.sim.run()
+    finish_times = sorted(t for (_, t) in results.values())
+    # Serialized: ~10, ~20, ~30.
+    assert finish_times[0] == pytest.approx(10, abs=0.5)
+    assert finish_times[1] == pytest.approx(20, abs=0.5)
+    assert finish_times[2] == pytest.approx(30, abs=0.5)
+    # Queued time visible to the client.
+    qtimes = sorted(r.queued_time for (r, _) in results.values())
+    assert qtimes[-1] == pytest.approx(20, abs=0.5)
+
+
+def test_two_slots_run_concurrently():
+    net, qs, qc = make_pair(slots=2)
+    results = {}
+
+    def submit(i):
+        res = yield from qc.submit(
+            ("resource", qs.port), JobSpec(executable="sleep", arguments=("10",))
+        )
+        results[i] = net.sim.now
+
+    for i in range(2):
+        net.sim.process(submit(i))
+    net.sim.run()
+    assert max(results.values()) == pytest.approx(10, abs=0.5)
+
+
+def test_execution_context_nprocs_passed():
+    net, qs, qc = make_pair()
+    seen = {}
+
+    def probe(ctx):
+        seen["nprocs"] = ctx.nprocs
+        yield ctx.sim.timeout(0)
+
+    qs.registry.register("probe", probe)
+    run_submit(net, qc, qs, JobSpec(executable="probe", count=4), nprocs=4)
+    assert seen["nprocs"] == 4
+
+
+def test_server_validation():
+    net = Network()
+    h = net.add_host("h")
+    with pytest.raises(RMFError):
+        QServer(h, slots=0)
+    qs = QServer(h).start()
+    with pytest.raises(RMFError):
+        qs.start()
+
+
+def test_registry_duplicate_and_missing():
+    reg = default_registry()
+    with pytest.raises(RMFError):
+        reg.register("echo", lambda ctx: iter(()))
+    with pytest.raises(RMFError):
+        reg.get("nope")
+    assert "echo" in reg
+    assert "sleep" in reg.names()

@@ -1,0 +1,200 @@
+"""Failure injection: host crashes, daemon deaths, recovery."""
+
+import pytest
+
+from repro.simnet import (
+    ConnectionReset,
+    ConnectTimeout,
+    Network,
+    SocketError,
+)
+
+
+def make_pair():
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, 1e-3, 1e6)
+    return net, a, b
+
+
+def test_crash_resets_established_connections():
+    net, a, b = make_pair()
+    out = {}
+
+    def server():
+        ls = b.listen(1)
+        conn = yield ls.accept()
+        with pytest.raises(ConnectionReset):
+            yield conn.recv()
+        out["reset_at"] = net.sim.now
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield net.sim.timeout(1.0)
+        out["crashed_at"] = net.sim.now
+        a.crash()
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    # The peer learns after one propagation delay (1 ms link).
+    assert out["reset_at"] == pytest.approx(out["crashed_at"] + 1e-3, abs=1e-5)
+
+
+def test_connect_to_crashed_host_times_out():
+    net, a, b = make_pair()
+    b.listen(1)
+    b.crash()
+
+    def client():
+        with pytest.raises(ConnectTimeout, match="down"):
+            yield from a.connect(("b", 1), timeout=0.5)
+        return net.sim.now
+
+    p = net.sim.process(client())
+    net.sim.run()
+    assert p.value == pytest.approx(0.5)
+
+
+def test_crash_closes_listeners():
+    net, a, b = make_pair()
+    ls = b.listen(1)
+    b.crash()
+    assert ls.closed
+    assert not b.is_listening(1)
+
+
+def test_crash_is_idempotent_and_recoverable():
+    net, a, b = make_pair()
+    b.listen(1)
+    b.crash()
+    b.crash()  # no error
+    b.recover()
+    assert not b.crashed
+    # A restarted daemon can bind the same port again.
+    ls = b.listen(1)
+    out = {}
+
+    def server():
+        conn = yield ls.accept()
+        msg = yield conn.recv()
+        out["got"] = msg.payload
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield conn.send("back online")
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert out["got"] == "back online"
+
+
+def test_send_after_peer_crash_raises():
+    net, a, b = make_pair()
+
+    def server():
+        ls = b.listen(1)
+        conn = yield ls.accept()
+        return conn
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield net.sim.timeout(0.5)
+        b.crash()
+        yield net.sim.timeout(0.1)  # RST propagates
+        with pytest.raises(ConnectionReset):
+            conn.send("into the void")
+        return True
+
+    net.sim.process(server())
+    p = net.sim.process(client())
+    net.sim.run()
+    assert p.value is True
+
+
+def test_outer_server_crash_breaks_relayed_streams():
+    """A relay daemon death resets both legs of the chain."""
+    from repro.cluster import Testbed
+    from repro.core import NexusProxyClient
+
+    tb = Testbed()
+    out = {}
+
+    def inside():
+        proxy = NexusProxyClient(tb.rwcp_sun, **tb.proxy_addrs)
+        framed = yield from proxy.connect(("etl-sun", 9000))
+        yield framed.send(b"first", nbytes=64)
+        with pytest.raises(ConnectionReset):
+            while True:
+                yield from framed.recv()
+
+        out["inside_reset"] = True
+
+    def outside():
+        ls = tb.etl_sun.listen(9000)
+        conn = yield ls.accept()
+        from repro.core import FramedConnection
+
+        framed = FramedConnection(conn, tb.relay_config.chunk_bytes)
+        yield from framed.recv()
+        # The relay host dies mid-conversation.
+        tb.outer_host.crash()
+        with pytest.raises(ConnectionReset):
+            while True:
+                yield from framed.recv()
+        out["outside_reset"] = True
+
+    net = tb.net
+    net.sim.process(inside())
+    net.sim.process(outside())
+    net.sim.run()
+    assert out == {"inside_reset": True, "outside_reset": True}
+
+
+def test_qserver_crash_surfaces_as_rmf_error():
+    from repro.rmf import JobSpec, QClient, QServer, RMFError
+
+    net = Network()
+    res = net.add_host("resource")
+    sub = net.add_host("submitter")
+    net.link(res, sub, 1e-3, 1e6)
+    qs = QServer(res).start()
+    qc = QClient(sub)
+
+    def killer():
+        yield net.sim.timeout(2.0)
+        res.crash()
+
+    def submit():
+        with pytest.raises(RMFError, match="dropped"):
+            yield from qc.submit(
+                ("resource", qs.port), JobSpec(executable="sleep", arguments=("60",))
+            )
+        return True
+
+    net.sim.process(killer())
+    p = net.sim.process(submit())
+    net.sim.run()
+    assert p.value is True
+
+
+def test_cpu_utilization_accounting():
+    net = Network()
+    h = net.add_host("h", cores=2)
+
+    def worker():
+        yield from h.execute(3.0)
+
+    net.sim.process(worker())
+    net.sim.process(worker())
+    net.sim.run(until=10.0)
+    # 6 core-seconds over 10 s * 2 cores.
+    assert h.cpu_utilization() == pytest.approx(0.3)
+
+
+def test_utilization_zero_at_start():
+    net = Network()
+    h = net.add_host("h")
+    assert h.cpu_utilization() == 0.0

@@ -1,0 +1,133 @@
+"""Firewall rule-engine tests (deny-based in / allow-based out)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simnet.firewall import Action, Direction, Firewall, Rule
+
+
+def test_typical_configuration():
+    fw = Firewall.typical()
+    assert fw.inbound_default is Action.DENY
+    assert fw.outbound_default is Action.ALLOW
+    assert not fw.permits(Direction.INBOUND, "out", "in", 5000)
+    assert fw.permits(Direction.OUTBOUND, "in", "out", 5000)
+
+
+def test_open_everything():
+    fw = Firewall.open_everything()
+    assert fw.permits(Direction.INBOUND, "a", "b", 1)
+    assert fw.permits(Direction.OUTBOUND, "a", "b", 65535)
+
+
+def test_open_inbound_port_exact():
+    fw = Firewall.typical()
+    fw.open_inbound_port(7000)
+    assert fw.permits(Direction.INBOUND, "x", "y", 7000)
+    assert not fw.permits(Direction.INBOUND, "x", "y", 7001)
+    assert not fw.permits(Direction.INBOUND, "x", "y", 6999)
+
+
+def test_nxport_pinned_to_peers():
+    """The paper's minimal hole: outer server -> inner server only."""
+    fw = Firewall.typical()
+    fw.open_inbound_port(7100, src_host="outer", dst_host="inner", comment="nxport")
+    assert fw.permits(Direction.INBOUND, "outer", "inner", 7100)
+    # Same port, wrong source or destination: still denied.
+    assert not fw.permits(Direction.INBOUND, "attacker", "inner", 7100)
+    assert not fw.permits(Direction.INBOUND, "outer", "workstation", 7100)
+
+
+def test_open_port_range():
+    fw = Firewall.typical()
+    fw.open_port_range(40000, 40009)
+    assert fw.permits(Direction.INBOUND, "x", "y", 40000)
+    assert fw.permits(Direction.INBOUND, "x", "y", 40009)
+    assert not fw.permits(Direction.INBOUND, "x", "y", 40010)
+
+
+def test_empty_port_range_rejected():
+    fw = Firewall.typical()
+    with pytest.raises(ValueError):
+        fw.open_port_range(5, 4)
+
+
+def test_close_outbound_port():
+    fw = Firewall.typical()
+    fw.close_outbound_port(25)
+    assert not fw.permits(Direction.OUTBOUND, "in", "out", 25)
+    assert fw.permits(Direction.OUTBOUND, "in", "out", 80)
+
+
+def test_first_match_wins():
+    fw = Firewall.typical()
+    fw.add_rule(Rule(Direction.INBOUND, Action.DENY, port_min=80, port_max=80))
+    fw.open_inbound_port(80)  # later allow is shadowed
+    assert not fw.permits(Direction.INBOUND, "x", "y", 80)
+
+
+def test_denied_counter():
+    fw = Firewall.typical()
+    fw.permits(Direction.INBOUND, "x", "y", 1)
+    fw.permits(Direction.INBOUND, "x", "y", 2)
+    fw.permits(Direction.OUTBOUND, "x", "y", 3)
+    assert fw.denied[Direction.INBOUND] == 2
+    assert fw.denied[Direction.OUTBOUND] == 0
+
+
+def test_allow_everything_and_restore():
+    """The §4.2 footnote: config temporarily changed for direct runs."""
+    fw = Firewall.typical()
+    assert not fw.permits(Direction.INBOUND, "x", "y", 9999)
+    fw.allow_everything()
+    assert fw.permits(Direction.INBOUND, "x", "y", 9999)
+    fw.restore_typical()
+    assert not fw.permits(Direction.INBOUND, "x", "y", 9999)
+
+
+def test_exposure_proxy_vs_port_range():
+    """Quantifies the paper's security argument (§1, §3)."""
+    proxied = Firewall.typical()
+    proxied.open_inbound_port(7100, src_host="outer", dst_host="inner")
+    assert proxied.exposure() == 1
+
+    globus11 = Firewall.typical()
+    globus11.open_port_range(40000, 40099)  # TCP_MIN_PORT..TCP_MAX_PORT
+    assert globus11.exposure() == 100
+
+    assert proxied.exposure() < globus11.exposure()
+
+
+def test_exposure_allow_default_is_total():
+    fw = Firewall.open_everything()
+    assert fw.exposure() == 65535
+
+
+def test_rule_direction_mismatch():
+    r = Rule(Direction.INBOUND, Action.ALLOW, port_min=1, port_max=10)
+    assert not r.matches(Direction.OUTBOUND, "a", "b", 5)
+    assert r.matches(Direction.INBOUND, "a", "b", 5)
+
+
+@given(st.integers(min_value=1, max_value=65535))
+def test_typical_denies_every_unopened_inbound_port(port):
+    fw = Firewall.typical()
+    assert fw.evaluate(Direction.INBOUND, "a", "b", port) is Action.DENY
+    assert fw.evaluate(Direction.OUTBOUND, "a", "b", port) is Action.ALLOW
+
+
+@given(
+    st.integers(min_value=1, max_value=65535),
+    st.integers(min_value=0, max_value=200),
+)
+def test_range_rule_boundary(lo, width):
+    hi = min(65535, lo + width)
+    fw = Firewall.typical()
+    fw.open_port_range(lo, hi)
+    assert fw.permits(Direction.INBOUND, "x", "y", lo)
+    assert fw.permits(Direction.INBOUND, "x", "y", hi)
+    if lo > 1:
+        assert not fw.permits(Direction.INBOUND, "x", "y", lo - 1)
+    if hi < 65535:
+        assert not fw.permits(Direction.INBOUND, "x", "y", hi + 1)

@@ -1,0 +1,440 @@
+"""DES kernel semantics: scheduling order, processes, interrupts, conditions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simnet.kernel import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(1.5)
+        seen.append(sim.now)
+        yield sim.timeout(0.5)
+        seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [1.5, 2.0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.timeout(-1)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        got.append((yield sim.timeout(1, value="hello")))
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def make(tag):
+        def proc():
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        return proc
+
+    for tag in range(10):
+        sim.process(make(tag)())
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value * 2
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == 84
+    assert sim.now == 2
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(3)
+        return "done"
+
+    assert sim.run(until=sim.process(child())) == "done"
+    assert sim.now == 3
+
+
+def test_run_until_time_stops_early():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(1)
+            seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=4.5)
+    assert seen == [1, 2, 3, 4]
+    assert sim.now == 4.5
+    sim.run()
+    assert seen[-1] == 10
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 5
+    with pytest.raises(SimError):
+        sim.run(until=sim.now - 1)
+
+
+def test_process_body_must_be_generator():
+    sim = Simulator()
+    with pytest.raises(SimError, match="generator"):
+        sim.process(iter([]))  # plain iterator, no .send
+
+
+def test_unhandled_process_exception_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    sim.process(bad())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_waiting_parent_receives_child_exception():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except ValueError:
+            return "caught"
+        return "missed"
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(SimError, match="not an Event"):
+        sim.run()
+
+
+def test_cross_simulator_event_rejected():
+    sim1, sim2 = Simulator(), Simulator()
+
+    def bad():
+        yield sim2.timeout(1)
+
+    sim1.process(bad())
+    with pytest.raises(SimError, match="different simulator"):
+        sim1.run()
+
+
+def test_interrupt_wakes_sleeper():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+            log.append("slept")
+        except Interrupt as i:
+            log.append(("interrupted", i.cause, sim.now))
+
+    p = sim.process(sleeper())
+
+    def waker():
+        yield sim.timeout(5)
+        p.interrupt("wake up")
+
+    sim.process(waker())
+    sim.run()
+    assert log == [("interrupted", "wake up", 5)]
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.process(quick())
+    sim.run()
+    p.interrupt()  # no exception
+    assert p.triggered
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def tough():
+        try:
+            yield sim.timeout(100)
+        except Interrupt:
+            pass
+        yield sim.timeout(10)
+        log.append(sim.now)
+
+    p = sim.process(tough())
+
+    def waker():
+        yield sim.timeout(5)
+        p.interrupt()
+
+    sim.process(waker())
+    sim.run()
+    assert log == [15]
+
+
+def test_uncaught_interrupt_propagates():
+    sim = Simulator()
+
+    def sleeper():
+        yield sim.timeout(100)
+
+    p = sim.process(sleeper())
+
+    def waker():
+        yield sim.timeout(1)
+        p.interrupt("die")
+
+    sim.process(waker())
+    with pytest.raises(Interrupt):
+        sim.run()
+
+
+def test_event_succeed_twice_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_anyof_first_wins():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        t1 = sim.timeout(5, value="slow")
+        t2 = sim.timeout(2, value="fast")
+        result = yield AnyOf(sim, [t1, t2])
+        got.append((sim.now, list(result.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert got[0][0] == 2
+    assert "fast" in got[0][1]
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        evs = [sim.timeout(t, value=t) for t in (3, 1, 2)]
+        result = yield AllOf(sim, evs)
+        got.append((sim.now, sorted(result.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [(3, [1, 2, 3])]
+
+
+def test_empty_condition_fires_immediately():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield AllOf(sim, [])
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_yield_already_processed_event():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        t = sim.timeout(1, value="x")
+        yield sim.timeout(5)  # t fires and is processed meanwhile
+        v = yield t
+        log.append((sim.now, v))
+
+    sim.process(proc())
+    sim.run()
+    assert log == [(5, "x")]
+
+
+def test_step_on_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.step()
+
+
+def test_peek_empty_is_inf():
+    assert Simulator().peek() == float("inf")
+
+
+def test_run_until_event_deadlock_detected():
+    sim = Simulator()
+    never = sim.event()
+    with pytest.raises(SimError, match="never fired"):
+        sim.run(until=never)
+
+
+def test_self_interrupt_rejected():
+    sim = Simulator()
+
+    def proc():
+        me = sim.active_process
+        with pytest.raises(SimError):
+            me.interrupt()
+        yield sim.timeout(0)
+
+    sim.process(proc())
+    sim.run()
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=60))
+def test_events_processed_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def make(d):
+        def proc():
+            yield sim.timeout(d)
+            fired.append(sim.now)
+
+        return proc
+
+    for d in delays:
+        sim.process(make(d)())
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+def test_anyof_fails_when_first_event_fails():
+    sim = Simulator()
+
+    def failer():
+        yield sim.timeout(1)
+        raise ValueError("inner boom")
+
+    def waiter():
+        p = sim.process(failer())
+        t = sim.timeout(5)
+        try:
+            yield AnyOf(sim, [p, t])
+        except ValueError:
+            return "caught"
+        return "missed"
+
+    w = sim.process(waiter())
+    sim.run()
+    assert w.value == "caught"
+
+
+def test_allof_fails_fast_on_member_failure():
+    sim = Simulator()
+
+    def failer():
+        yield sim.timeout(1)
+        raise RuntimeError("member died")
+
+    def waiter():
+        p = sim.process(failer())
+        t = sim.timeout(100)
+        try:
+            yield AllOf(sim, [p, t])
+        except RuntimeError:
+            return sim.now
+        return None
+
+    w = sim.process(waiter())
+    sim.run()
+    assert w.value == 1  # did not wait for the 100 s timeout
+
+
+def test_condition_rejects_cross_simulator_events():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(SimError, match="different simulators"):
+        AllOf(sim1, [sim1.timeout(1), sim2.timeout(1)])
+
+
+def test_timeout_value_defaults_to_none():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        got.append((yield sim.timeout(1)))
+
+    sim.process(proc())
+    sim.run()
+    assert got == [None]

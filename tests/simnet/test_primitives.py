@@ -1,0 +1,378 @@
+"""Channel / Resource / Gate semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simnet.kernel import SimError, Simulator
+from repro.simnet.primitives import Channel, ChannelClosed, Gate, Resource
+
+
+def run_proc(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+# -- Channel ---------------------------------------------------------------
+
+
+def test_channel_fifo_order():
+    sim = Simulator()
+    ch = Channel(sim)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield ch.put(i)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(5):
+            got.append((yield ch.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_channel_get_blocks_until_put():
+    sim = Simulator()
+    ch = Channel(sim)
+    times = []
+
+    def consumer():
+        v = yield ch.get()
+        times.append((sim.now, v))
+
+    def producer():
+        yield sim.timeout(7)
+        yield ch.put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert times == [(7, "x")]
+
+
+def test_channel_capacity_blocks_put():
+    sim = Simulator()
+    ch = Channel(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield ch.put("a")
+        log.append(("a", sim.now))
+        yield ch.put("b")  # blocks until the consumer drains one
+        log.append(("b", sim.now))
+
+    def consumer():
+        yield sim.timeout(10)
+        yield ch.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert log == [("a", 0), ("b", 10)]
+
+
+def test_channel_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        Channel(sim, capacity=0)
+
+
+def test_try_put_try_get():
+    sim = Simulator()
+    ch = Channel(sim, capacity=2)
+    assert ch.try_put(1)
+    assert ch.try_put(2)
+    assert not ch.try_put(3)
+    assert ch.try_get() == (True, 1)
+    assert ch.try_get() == (True, 2)
+    assert ch.try_get() == (False, None)
+
+
+def test_requeue_front_preserves_order():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.try_put("b")
+    ch.try_put("c")
+    ch.requeue_front("a")
+    assert [ch.try_get()[1] for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_requeue_front_wakes_waiting_getter():
+    sim = Simulator()
+    ch = Channel(sim)
+    got = []
+
+    def consumer():
+        got.append((yield ch.get()))
+
+    sim.process(consumer())
+
+    def producer():
+        yield sim.timeout(1)
+        ch.requeue_front("x")
+
+    sim.process(producer())
+    sim.run()
+    assert got == ["x"]
+
+
+def test_close_fails_pending_getters():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def consumer():
+        with pytest.raises(ChannelClosed):
+            yield ch.get()
+        return "ok"
+
+    def closer():
+        yield sim.timeout(1)
+        ch.close()
+
+    p = sim.process(consumer())
+    sim.process(closer())
+    sim.run()
+    assert p.value == "ok"
+
+
+def test_close_delivers_queued_items_first():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.try_put("survivor")
+    ch.close()
+    assert ch.try_get() == (True, "survivor")
+
+    def consumer():
+        with pytest.raises(ChannelClosed):
+            yield ch.get()
+
+    run_proc(sim, consumer())
+
+
+def test_put_on_closed_channel_fails():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.close()
+    assert not ch.try_put(1)
+
+    def producer():
+        with pytest.raises(ChannelClosed):
+            yield ch.put(1)
+
+    run_proc(sim, producer())
+
+
+def test_close_idempotent():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.close()
+    ch.close()
+    assert ch.closed
+
+
+def test_peek():
+    sim = Simulator()
+    ch = Channel(sim)
+    with pytest.raises(SimError):
+        ch.peek()
+    ch.try_put(9)
+    assert ch.peek() == 9
+    assert len(ch) == 1
+
+
+@given(st.lists(st.integers(), max_size=100))
+def test_channel_preserves_arbitrary_sequences(items):
+    sim = Simulator()
+    ch = Channel(sim)
+    out = []
+
+    def producer():
+        for it in items:
+            yield ch.put(it)
+
+    def consumer():
+        for _ in items:
+            out.append((yield ch.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert out == items
+
+
+# -- Resource ---------------------------------------------------------------
+
+
+def test_resource_serializes_holders():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def worker(tag):
+        yield res.request()
+        log.append((tag, "in", sim.now))
+        yield sim.timeout(5)
+        res.release()
+        log.append((tag, "out", sim.now))
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+    assert log == [
+        ("a", "in", 0),
+        ("a", "out", 5),
+        ("b", "in", 5),
+        ("b", "out", 10),
+    ]
+
+
+def test_resource_capacity_two():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def worker(tag):
+        yield res.request()
+        yield sim.timeout(5)
+        res.release()
+        done.append((tag, sim.now))
+
+    for tag in "abc":
+        sim.process(worker(tag))
+    sim.run()
+    assert done == [("a", 5), ("b", 5), ("c", 10)]
+
+
+def test_resource_fifo_granting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag, start):
+        yield sim.timeout(start)
+        yield res.request()
+        order.append(tag)
+        yield sim.timeout(10)
+        res.release()
+
+    for i, tag in enumerate("abcd"):
+        sim.process(worker(tag, i))
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_release_without_request_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimError):
+        res.release()
+
+
+def test_resource_use_helper():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def worker(tag):
+        yield from res.use(3)
+        log.append((tag, sim.now))
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+    assert log == [("a", 3), ("b", 6)]
+
+
+def test_resource_counters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        yield res.request()
+        assert res.in_use == 1
+        yield sim.timeout(1)
+        res.release()
+
+    def waiter():
+        ev = res.request()
+        assert res.queued == 1
+        yield ev
+        res.release()
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert res.in_use == 0
+    assert res.queued == 0
+
+
+def test_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        Resource(sim, capacity=0)
+
+
+# -- Gate ---------------------------------------------------------------------
+
+
+def test_gate_open_passes_immediately():
+    sim = Simulator()
+    gate = Gate(sim, open=True)
+    log = []
+
+    def proc():
+        yield gate.wait()
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [0]
+
+
+def test_gate_closed_blocks_until_open():
+    sim = Simulator()
+    gate = Gate(sim, open=False)
+    log = []
+
+    def proc():
+        yield gate.wait()
+        log.append(sim.now)
+
+    def opener():
+        yield sim.timeout(4)
+        gate.open()
+
+    sim.process(proc())
+    sim.process(opener())
+    sim.run()
+    assert log == [4]
+
+
+def test_gate_reusable():
+    sim = Simulator()
+    gate = Gate(sim, open=False)
+    log = []
+
+    def proc():
+        yield gate.wait()
+        log.append(sim.now)
+        gate.close()
+        yield gate.wait()
+        log.append(sim.now)
+
+    def opener():
+        yield sim.timeout(1)
+        gate.open()
+        yield sim.timeout(1)
+        gate.open()
+
+    sim.process(proc())
+    sim.process(opener())
+    sim.run()
+    assert log == [1, 2]

@@ -1,0 +1,182 @@
+"""Hypothesis property tests over the simulation substrate.
+
+Invariants that must hold for *any* topology, traffic pattern or rule
+set — the safety net under every calibrated experiment.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import Firewall, NetConfig, Network
+from repro.simnet.kernel import Simulator
+
+
+# -- random trees route correctly ------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    parents=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=9),
+    src_i=st.integers(min_value=0, max_value=9),
+    dst_i=st.integers(min_value=0, max_value=9),
+)
+def test_tree_topologies_always_route(parents, src_i, dst_i):
+    """On a random tree every host pair has a route, and hop counts
+    are symmetric."""
+    net = Network()
+    hosts = [net.add_host("h0")]
+    for i, p in enumerate(parents, start=1):
+        h = net.add_host(f"h{i}")
+        net.link(h, hosts[p % len(hosts)], 1e-4, 1e6)
+        hosts.append(h)
+    src = hosts[src_i % len(hosts)]
+    dst = hosts[dst_i % len(hosts)]
+    fwd = net.path_links(src, dst)
+    rev = net.path_links(dst, src)
+    assert len(fwd) == len(rev)
+    if src is dst:
+        assert fwd == []
+
+
+# -- message conservation under arbitrary traffic -----------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=100_000), min_size=1,
+                   max_size=30),
+)
+def test_byte_and_message_conservation(sizes):
+    """Whatever the sender sends, the receiver receives: counts,
+    bytes, order, and per-message sizes all conserved."""
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, 1e-4, 1e7)
+    got = []
+
+    def server():
+        ls = b.listen(1)
+        conn = yield ls.accept()
+        for _ in sizes:
+            msg = yield conn.recv()
+            got.append((msg.payload, msg.nbytes))
+        assert conn.bytes_received == sum(sizes)
+        assert conn.messages_received == len(sizes)
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        for i, size in enumerate(sizes):
+            yield conn.send(i, nbytes=size)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert got == [(i, s) for i, s in enumerate(sizes)]
+
+
+# -- delivery times respect physics ---------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    latency=st.floats(min_value=1e-5, max_value=0.1),
+    bandwidth=st.floats(min_value=1e3, max_value=1e8),
+    nbytes=st.integers(min_value=1, max_value=1_000_000),
+)
+def test_transit_time_lower_bound(latency, bandwidth, nbytes):
+    """No message arrives faster than latency + size/bandwidth."""
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, latency, bandwidth)
+    out = {}
+
+    def server():
+        ls = b.listen(1)
+        conn = yield ls.accept()
+        msg = yield conn.recv()
+        out["transit"] = msg.transit_time
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield conn.send(b"", nbytes=nbytes)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    floor = latency + nbytes / bandwidth
+    assert out["transit"] >= floor * 0.999  # fp slack
+
+
+# -- firewall rule-engine properties -----------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rules=st.lists(
+        st.tuples(
+            st.booleans(),  # allow?
+            st.integers(min_value=1, max_value=100),  # lo
+            st.integers(min_value=0, max_value=50),  # width
+        ),
+        max_size=8,
+    ),
+    port=st.integers(min_value=1, max_value=200),
+)
+def test_first_match_wins_is_deterministic(rules, port):
+    """evaluate() equals a reference first-match interpreter."""
+    from repro.simnet.firewall import Action, Direction, Rule
+
+    fw = Firewall.typical()
+    for allow, lo, width in rules:
+        fw.add_rule(
+            Rule(
+                Direction.INBOUND,
+                Action.ALLOW if allow else Action.DENY,
+                port_min=lo,
+                port_max=lo + width,
+            )
+        )
+    got = fw.evaluate(Direction.INBOUND, "x", "y", port)
+    expected = Action.DENY  # default
+    for allow, lo, width in rules:
+        if lo <= port <= lo + width:
+            expected = Action.ALLOW if allow else Action.DENY
+            break
+    assert got is expected
+
+
+# -- DES determinism -----------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1,
+        max_size=40,
+    )
+)
+def test_simulation_is_replayable(delays):
+    """Identical programs produce identical traces."""
+
+    def run():
+        sim = Simulator()
+        trace = []
+
+        def make(i, d):
+            def proc():
+                yield sim.timeout(d)
+                trace.append((i, sim.now))
+                yield sim.timeout(d / 2)
+                trace.append((i, sim.now))
+
+            return proc
+
+        for i, d in enumerate(delays):
+            sim.process(make(i, d)())
+        sim.run()
+        return trace
+
+    assert run() == run()

@@ -1,0 +1,454 @@
+"""Simulated TCP: connect/accept/send/recv, firewalls, timing, teardown."""
+
+import pytest
+
+from repro.simnet import (
+    Address,
+    ConnectionRefused,
+    ConnectionReset,
+    ConnectTimeout,
+    Firewall,
+    FirewallBlocked,
+    NetConfig,
+    Network,
+    SocketError,
+)
+
+
+def two_hosts(latency=1e-3, bandwidth=1e6, config=None):
+    net = Network(config=config)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, latency=latency, bandwidth=bandwidth)
+    return net, a, b
+
+
+def test_connect_and_exchange():
+    net, a, b = two_hosts()
+    out = {}
+
+    def server():
+        lsock = b.listen(9000)
+        conn = yield lsock.accept()
+        msg = yield conn.recv()
+        out["server_got"] = msg.payload
+        yield conn.send("reply")
+
+    def client():
+        conn = yield from a.connect(("b", 9000))
+        yield conn.send("hello")
+        msg = yield conn.recv()
+        out["client_got"] = msg.payload
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert out == {"server_got": "hello", "client_got": "reply"}
+
+
+def test_connect_refused_when_nothing_listens():
+    net, a, b = two_hosts()
+
+    def client():
+        with pytest.raises(ConnectionRefused):
+            yield from a.connect(("b", 12345))
+        return "done"
+
+    p = net.sim.process(client())
+    net.sim.run()
+    assert p.value == "done"
+    # Refusal costs a full RTT (SYN there, RST back).
+    assert net.sim.now == pytest.approx(2e-3)
+
+
+def test_connect_unknown_host():
+    net, a, _ = two_hosts()
+
+    def client():
+        with pytest.raises(SocketError, match="no such host"):
+            yield from a.connect(("ghost", 1))
+        yield net.sim.timeout(0)
+
+    net.sim.process(client())
+    net.sim.run()
+
+
+def test_connect_handshake_takes_one_and_a_half_rtt_to_data():
+    cfg = NetConfig(connect_overhead=0.0, send_overhead=0.0,
+                    per_segment_cpu=0.0, recv_overhead=0.0)
+    net, a, b = two_hosts(latency=10e-3, bandwidth=1e9, config=cfg)
+    t = {}
+
+    def server():
+        lsock = b.listen(1)
+        conn = yield lsock.accept()
+        yield conn.recv()
+        t["srv_done"] = net.sim.now
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        t["connected"] = net.sim.now
+        yield conn.send(b"x", nbytes=1)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    # connect: SYN (10ms) + SYN/ACK (10ms); first byte lands 10ms later.
+    assert t["connected"] == pytest.approx(20e-3)
+    assert t["srv_done"] == pytest.approx(30e-3, rel=1e-3)
+
+
+def test_firewall_silent_drop_times_out():
+    net = Network()
+    fw = Firewall.typical()  # drop mode
+    site = net.add_site("s", firewall=fw)
+    inside = net.add_host("inside", site=site)
+    outside = net.add_host("outside")
+    net.link(inside, outside, latency=1e-3, bandwidth=1e6)
+
+    def server():
+        inside.listen(5000)
+        yield net.sim.timeout(0)
+
+    def client():
+        with pytest.raises(FirewallBlocked) as ei:
+            yield from outside.connect(("inside", 5000), timeout=2.0)
+        assert ei.value.silent_drop
+        return net.sim.now
+
+    net.sim.process(server())
+    p = net.sim.process(client())
+    net.sim.run()
+    assert p.value == pytest.approx(2.0)
+
+
+def test_firewall_reject_fails_fast():
+    net = Network()
+    fw = Firewall.typical(reject=True)
+    site = net.add_site("s", firewall=fw)
+    inside = net.add_host("inside", site=site)
+    outside = net.add_host("outside")
+    net.link(inside, outside, latency=1e-3, bandwidth=1e6)
+
+    def client():
+        with pytest.raises(FirewallBlocked) as ei:
+            yield from outside.connect(("inside", 5000))
+        assert not ei.value.silent_drop
+        return net.sim.now
+
+    p = net.sim.process(client())
+    net.sim.run()
+    assert p.value == pytest.approx(2e-3)  # one RTT, not 30 s
+
+
+def test_intra_site_traffic_not_filtered():
+    net = Network()
+    fw = Firewall.typical(reject=True)
+    site = net.add_site("s", firewall=fw)
+    h1 = net.add_host("h1", site=site)
+    h2 = net.add_host("h2", site=site)
+    net.link(h1, h2, latency=1e-4, bandwidth=1e7)
+    ok = []
+
+    def server():
+        lsock = h2.listen(80)
+        conn = yield lsock.accept()
+        yield conn.recv()
+        ok.append(True)
+
+    def client():
+        conn = yield from h1.connect(("h2", 80))
+        yield conn.send(b"hi")
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert ok == [True]
+
+
+def test_outbound_filtering():
+    net = Network()
+    fw = Firewall.typical(reject=True)
+    fw.close_outbound_port(6000)
+    site = net.add_site("s", firewall=fw)
+    inside = net.add_host("inside", site=site)
+    outside = net.add_host("outside")
+    net.link(inside, outside, latency=1e-3, bandwidth=1e6)
+
+    def server():
+        outside.listen(6000)
+        outside.listen(6001)
+        yield net.sim.timeout(0)
+
+    def client():
+        with pytest.raises(FirewallBlocked):
+            yield from inside.connect(("outside", 6000))
+        conn = yield from inside.connect(("outside", 6001))
+        return conn is not None
+
+    net.sim.process(server())
+    p = net.sim.process(client())
+    net.sim.run()
+    assert p.value is True
+
+
+def test_message_order_preserved():
+    net, a, b = two_hosts()
+    got = []
+
+    def server():
+        lsock = b.listen(1)
+        conn = yield lsock.accept()
+        for _ in range(20):
+            msg = yield conn.recv()
+            got.append(msg.payload)
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        for i in range(20):
+            yield conn.send(i, nbytes=100 + 37 * i)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert got == list(range(20))
+
+
+def test_large_message_segmentation_counts_all_bytes():
+    net, a, b = two_hosts(bandwidth=1e6)
+    size = 1_000_000
+    out = {}
+
+    def server():
+        lsock = b.listen(1)
+        conn = yield lsock.accept()
+        msg = yield conn.recv()
+        out["nbytes"] = msg.nbytes
+        out["t"] = net.sim.now
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield conn.send(b"", nbytes=size)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert out["nbytes"] == size
+    # Dominated by serialization: ~1 s on a 1 MB/s link.
+    assert 1.0 < out["t"] < 1.2
+
+
+def test_bandwidth_approaches_link_rate_for_large_messages():
+    cfg = NetConfig()
+    net, a, b = two_hosts(latency=5e-3, bandwidth=6.5e6, config=cfg)
+    res = {}
+
+    def server():
+        lsock = b.listen(1)
+        conn = yield lsock.accept()
+        t0 = net.sim.now
+        msg = yield conn.recv()
+        res["bw"] = msg.nbytes / (net.sim.now - msg.sent_at)
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield conn.send(b"", nbytes=8 * 1024 * 1024)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert res["bw"] == pytest.approx(6.5e6, rel=0.05)
+
+
+def test_loopback_connection():
+    net = Network()
+    a = net.add_host("a")
+    out = {}
+
+    def server():
+        lsock = a.listen(4000)
+        conn = yield lsock.accept()
+        msg = yield conn.recv()
+        out["got"] = msg.payload
+
+    def client():
+        conn = yield from a.connect(("a", 4000))
+        yield conn.send("local")
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert out["got"] == "local"
+    assert net.sim.now < 1e-3
+
+
+def test_double_bind_rejected():
+    net, a, _ = two_hosts()
+    a.listen(1234)
+    with pytest.raises(SocketError, match="already bound"):
+        a.listen(1234)
+
+
+def test_rebind_after_close():
+    net, a, _ = two_hosts()
+    s = a.listen(1234)
+    s.close()
+    a.listen(1234)  # fine now
+
+
+def test_ephemeral_ports_unique():
+    net, a, _ = two_hosts()
+    s1 = a.listen()
+    s2 = a.listen()
+    assert s1.port != s2.port
+    assert s1.port >= 49152
+
+
+def test_close_resets_peer_recv():
+    net, a, b = two_hosts()
+    out = {}
+
+    def server():
+        lsock = b.listen(1)
+        conn = yield lsock.accept()
+        with pytest.raises(ConnectionReset):
+            yield conn.recv()
+        out["reset_at"] = net.sim.now
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield net.sim.timeout(0.5)
+        out["closed_at"] = net.sim.now
+        conn.close()
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    # FIN takes one path latency (1 ms) plus small per-frame costs.
+    assert out["reset_at"] == pytest.approx(out["closed_at"] + 1e-3, abs=2e-4)
+
+
+def test_send_on_closed_connection_raises():
+    net, a, b = two_hosts()
+
+    def server():
+        lsock = b.listen(1)
+        conn = yield lsock.accept()
+        return conn
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        conn.close()
+        with pytest.raises(ConnectionReset):
+            conn.send("x")
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+
+
+def test_queued_data_delivered_before_fin():
+    net, a, b = two_hosts()
+    got = []
+
+    def server():
+        lsock = b.listen(1)
+        conn = yield lsock.accept()
+        msg = yield conn.recv()
+        got.append(msg.payload)
+        with pytest.raises(ConnectionReset):
+            yield conn.recv()
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield conn.send("last words", nbytes=10)
+        conn.close()
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert got == ["last words"]
+
+
+def test_recv_timeout():
+    net, a, b = two_hosts()
+
+    def server():
+        lsock = b.listen(1)
+        conn = yield lsock.accept()
+        with pytest.raises(ConnectTimeout):
+            yield conn.recv(timeout=0.25)
+        # Message arriving after the timeout is not lost.
+        msg = yield conn.recv()
+        return msg.payload
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield net.sim.timeout(0.5)
+        yield conn.send("late")
+
+    p = net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert p.value == "late"
+
+
+def test_accept_timeout():
+    net, a, b = two_hosts()
+
+    def server():
+        lsock = b.listen(1)
+        with pytest.raises(ConnectTimeout):
+            yield lsock.accept(timeout=0.1)
+        return net.sim.now
+
+    p = net.sim.process(server())
+    net.sim.run()
+    assert p.value == pytest.approx(0.1)
+
+
+def test_transit_time_recorded():
+    net, a, b = two_hosts(latency=20e-3)
+    out = {}
+
+    def server():
+        lsock = b.listen(1)
+        conn = yield lsock.accept()
+        msg = yield conn.recv()
+        out["transit"] = msg.transit_time
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield conn.send(b"x", nbytes=64)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert out["transit"] >= 20e-3
+
+
+def test_address_str():
+    assert str(Address("h", 80)) == "h:80"
+
+
+def test_connect_counters():
+    net, a, b = two_hosts()
+
+    def server():
+        lsock = b.listen(1)
+        conn = yield lsock.accept()
+        yield conn.recv()
+        assert conn.messages_received == 1
+        assert conn.bytes_received == 640
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        yield conn.send(b"x" * 640)
+        # Sender-side counters update when the send process finishes.
+        yield net.sim.timeout(1)
+        assert conn.messages_sent == 1
+        assert conn.bytes_sent == 640
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()

@@ -1,0 +1,102 @@
+"""Tracer: category filtering and the socket layer's emit points."""
+
+import pytest
+
+from repro.simnet import Network, Tracer
+from repro.simnet.trace import TraceRecord
+
+
+def test_disabled_by_default():
+    t = Tracer()
+    t.emit(1.0, "connect", src="a")
+    assert len(t) == 0
+
+
+def test_category_filtering():
+    t = Tracer()
+    t.enable("connect")
+    t.emit(1.0, "connect", src="a")
+    t.emit(2.0, "msg.deliver", nbytes=10)
+    assert len(t) == 1
+    assert t.count("connect") == 1
+    assert t.count("msg.deliver") == 0
+
+
+def test_enable_all_and_disable():
+    t = Tracer()
+    t.enable_all()
+    t.emit(1.0, "anything", x=1)
+    assert t.is_enabled("whatever")
+    t2 = Tracer()
+    t2.enable("a", "b")
+    t2.disable("a")
+    assert not t2.is_enabled("a") and t2.is_enabled("b")
+
+
+def test_record_access():
+    r = TraceRecord(1.5, "connect", {"src": "a:1", "dst": "b:2"})
+    assert r["src"] == "a:1"
+    assert r.time == 1.5
+
+
+def test_clear_and_iter():
+    t = Tracer()
+    t.enable_all()
+    t.emit(1.0, "x")
+    t.emit(2.0, "y")
+    assert [r.category for r in t] == ["x", "y"]
+    t.clear()
+    assert len(t) == 0
+
+
+def test_socket_layer_emits_connects_and_deliveries():
+    net = Network()
+    net.tracer.enable("connect", "msg.deliver")
+    a = net.add_host("a")
+    b = net.add_host("b")
+    net.link(a, b, 1e-4, 1e7)
+
+    def server():
+        ls = b.listen(1)
+        conn = yield ls.accept()
+        for _ in range(3):
+            yield conn.recv()
+
+    def client():
+        conn = yield from a.connect(("b", 1))
+        for i in range(3):
+            yield conn.send(i, nbytes=100)
+
+    net.sim.process(server())
+    net.sim.process(client())
+    net.sim.run()
+    assert net.tracer.count("connect") == 1
+    deliveries = list(net.tracer.of("msg.deliver"))
+    assert len(deliveries) == 3
+    assert all(r["nbytes"] == 100 for r in deliveries)
+    assert all(r["transit"] > 0 for r in deliveries)
+    # Time-ordered.
+    times = [r.time for r in deliveries]
+    assert times == sorted(times)
+
+
+def test_blocked_connects_traced():
+    from repro.simnet import Firewall, FirewallBlocked
+
+    net = Network()
+    net.tracer.enable("connect.blocked")
+    fw = Firewall.typical(reject=True)
+    site = net.add_site("s", firewall=fw)
+    inside = net.add_host("inside", site=site)
+    outside = net.add_host("outside")
+    net.link(inside, outside, 1e-3, 1e6)
+
+    def attacker():
+        with pytest.raises(FirewallBlocked):
+            yield from outside.connect(("inside", 22))
+
+    net.sim.process(attacker())
+    net.sim.run()
+    [rec] = list(net.tracer.of("connect.blocked"))
+    assert rec["firewall"] == "fw:s"
+    assert rec["silent"] is False  # reject mode

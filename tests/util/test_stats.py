@@ -1,0 +1,120 @@
+"""Summary / RunningStats tests, including Hypothesis equivalence checks."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import RunningStats, Summary, median, summarize
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.maximum == 4.0
+    assert s.minimum == 1.0
+    assert s.average == pytest.approx(2.5)
+    assert s.count == 4
+    assert s.total == pytest.approx(10.0)
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summary_as_row_scaling():
+    # Table 6 reports node counts in billions.
+    s = summarize([2.5e9, 1.5e9])
+    assert s.as_row(scale=1e9) == ["2.50", "1.50", "2.00"]
+
+
+def test_running_stats_single_value():
+    rs = RunningStats()
+    rs.add(5.0)
+    assert rs.mean == 5.0
+    assert rs.variance == 0.0
+    assert rs.minimum == rs.maximum == 5.0
+
+
+def test_running_stats_empty_raises():
+    rs = RunningStats()
+    for attr in ("mean", "variance", "stdev", "minimum", "maximum"):
+        with pytest.raises(ValueError):
+            getattr(rs, attr)
+    with pytest.raises(ValueError):
+        rs.summary()
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+def test_running_stats_matches_batch(xs):
+    rs = RunningStats()
+    rs.extend(xs)
+    s = summarize(xs)
+    assert rs.n == s.count
+    assert rs.mean == pytest.approx(s.average, rel=1e-9, abs=1e-6)
+    assert rs.minimum == s.minimum
+    assert rs.maximum == s.maximum
+    # Population variance against the naive two-pass formula.
+    mu = sum(xs) / len(xs)
+    var = sum((x - mu) ** 2 for x in xs) / len(xs)
+    assert rs.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=50),
+    st.lists(finite_floats, min_size=1, max_size=50),
+)
+def test_running_stats_merge_equivalence(a, b):
+    ra, rb = RunningStats(), RunningStats()
+    ra.extend(a)
+    rb.extend(b)
+    merged = ra.merge(rb)
+    whole = RunningStats()
+    whole.extend(a + b)
+    assert merged.n == whole.n
+    assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-6)
+    assert merged.variance == pytest.approx(whole.variance, rel=1e-6, abs=1e-6)
+    assert merged.minimum == whole.minimum
+    assert merged.maximum == whole.maximum
+
+
+def test_merge_with_empty_sides():
+    r = RunningStats()
+    r.extend([1.0, 2.0])
+    empty = RunningStats()
+    assert empty.merge(r).mean == pytest.approx(1.5)
+    assert r.merge(empty).mean == pytest.approx(1.5)
+
+
+def test_running_stats_summary_roundtrip():
+    rs = RunningStats()
+    rs.extend([3.0, 1.0, 2.0])
+    s = rs.summary()
+    assert isinstance(s, Summary)
+    assert s.total == pytest.approx(6.0)
+    assert s.count == 3
+
+
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 3.0, 2.0]) == pytest.approx(2.5)
+
+
+def test_median_empty_raises():
+    with pytest.raises(ValueError):
+        median([])
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=99))
+def test_median_is_order_statistic(xs):
+    m = median(xs)
+    below = sum(1 for x in xs if x < m)
+    above = sum(1 for x in xs if x > m)
+    assert below <= len(xs) / 2
+    assert above <= len(xs) / 2
+    assert not math.isnan(m)

@@ -1,0 +1,59 @@
+"""Text-table rendering tests."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+def test_basic_render():
+    t = Table(["a", "bb"], title="T")
+    t.add_row([1, "x"])
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1] == "="
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert lines[4].startswith("1")
+
+
+def test_column_alignment():
+    t = Table(["name", "value"])
+    t.add_row(["long-system-name", 1])
+    t.add_row(["x", 123456])
+    lines = t.render().splitlines()
+    # All data lines have the value column starting at the same offset.
+    start = lines[2].index("1")
+    assert lines[3].index("123456") == start
+
+
+def test_wrong_arity_rejected():
+    t = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row([1])
+
+
+def test_none_renders_empty():
+    t = Table(["a", "b"])
+    t.add_row([None, 2])
+    assert t.render().splitlines()[-1].strip().startswith("2") or "2" in t.render()
+
+
+def test_separator_row():
+    t = Table(["a"])
+    t.add_row(["x"])
+    t.add_separator()
+    t.add_row(["y"])
+    lines = t.render().splitlines()
+    assert lines[3].startswith("-")
+
+
+def test_no_title():
+    t = Table(["h"])
+    t.add_row(["v"])
+    assert t.render().splitlines()[0] == "h"
+
+
+def test_str_is_render():
+    t = Table(["h"])
+    t.add_row(["v"])
+    assert str(t) == t.render()

@@ -1,0 +1,66 @@
+"""Unit conversion and formatting tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import units
+
+
+def test_decimal_constants():
+    assert units.KB == 1_000
+    assert units.MB == 1_000_000
+    assert units.GB == 1_000_000_000
+
+
+def test_table2_message_sizes():
+    # Table 2 uses a 4096-byte and a (binary) 1 MB message.
+    assert units.SMALL_MESSAGE == 4096
+    assert units.MIB_MESSAGE == 1048576
+
+
+def test_mbps_imnet():
+    # The 1.5 Mbps IMNet carries at most 187.5 KB/s.
+    assert units.mbps(1.5) == pytest.approx(187_500)
+
+
+def test_kbps_and_gbps():
+    assert units.kbps(8) == pytest.approx(1_000)
+    assert units.gbps(1) == pytest.approx(125_000_000)
+
+
+def test_bytes_per_sec():
+    assert units.bytes_per_sec(1_000_000, 2.0) == pytest.approx(500_000)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_bytes_per_sec_rejects_nonpositive_duration(bad):
+    with pytest.raises(ValueError):
+        units.bytes_per_sec(100, bad)
+
+
+def test_fmt_bytes():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(4096) == "4.1 KB"
+    assert units.fmt_bytes(6_320_000) == "6.3 MB"
+    assert units.fmt_bytes(2_000_000_000) == "2.0 GB"
+
+
+def test_fmt_rate_matches_paper_style():
+    # 6.32 MB/sec and 70.5 KB/sec are literal Table 2 cells.
+    assert units.fmt_rate(6_320_000) == "6.32 MB/sec"
+    assert units.fmt_rate(70_500) == "70.5 KB/sec"
+
+
+def test_fmt_time():
+    assert units.fmt_time(0.41e-3) == "0.41 msec"
+    assert units.fmt_time(25.0e-3) == "25.00 msec"
+    assert units.fmt_time(3.5) == "3.50 sec"
+    assert "usec" in units.fmt_time(5e-6)
+
+
+@given(st.floats(min_value=1, max_value=1e12))
+def test_fmt_bytes_total_order(n):
+    # Formatting never raises and always returns a unit suffix.
+    out = units.fmt_bytes(n)
+    assert out.rsplit(" ", 1)[1] in {"B", "KB", "MB", "GB"}
