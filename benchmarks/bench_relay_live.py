@@ -1,0 +1,309 @@
+"""Live relay microbenchmark: loopback throughput + RTT, fixed vs
+adaptive pump, legacy vs mux passive plane.
+
+Seeds the repo's perf trajectory (``BENCH_relay.json``): every later
+data-plane change gets judged against these numbers.  Three probes:
+
+* **single-chain active throughput** — one relayed stream pushing
+  bulk bytes through the outer server (Fig. 3 path), measured with
+  the full seed data plane (fixed 4 KB reads, drain per write, 64 KB
+  stream limits, untuned sockets — ``pump_mode="fixed"``) and the
+  adaptive plane (4 KB → 256 KB growth, drain on high-water only,
+  ``TCP_NODELAY``, raised buffer limits).  Traffic is generated and
+  sunk by *blocking-socket OS threads* (``sendall``/``recv`` release
+  the GIL), so the event loop's only work is the relay pump itself —
+  asyncio endpoints would share the loop with the relay and mask the
+  difference under test.
+* **round-trip latency** — 64-byte echo ping-pong through the relay;
+  dominated by per-chunk scheduling and Nagle behaviour, so it checks
+  that the adaptive plane didn't trade latency for bandwidth.
+* **16-chain passive aggregate** — sixteen concurrent passive chains
+  (Fig. 4 path), legacy connection-per-chain vs the frame-multiplexed
+  single-pinhole link; also asserts the mux plane's defining
+  invariant (``nxport_connections == 1``).
+
+Run standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_relay_live.py --quick
+
+or in full to (re)generate ``BENCH_relay.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import socket
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core.aio import AioInnerServer, AioOuterServer, AioProxyClient
+
+MB = 1024 * 1024
+
+
+async def _start(pump_mode: str, mux: bool):
+    outer = await AioOuterServer(pump_mode=pump_mode, mux=mux).start()
+    inner = await AioInnerServer(pump_mode=pump_mode).start()
+    client = AioProxyClient(
+        outer_addr=("127.0.0.1", outer.control_port),
+        inner_addr=("127.0.0.1", inner.nxport),
+    )
+    return outer, inner, client
+
+
+def _sink_thread(lsock: socket.socket, out: dict) -> None:
+    """Blocking sink: count inbound bytes, reply with the count on EOF."""
+    conn, _ = lsock.accept()
+    total = 0
+    while True:
+        data = conn.recv(1 << 20)
+        if not data:
+            break
+        total += len(data)
+    conn.sendall(b"%d\n" % total)
+    conn.close()
+    out["total"] = total
+
+
+def _client_thread(
+    control_port: int, sink_port: int, nbytes: int, out: dict
+) -> None:
+    """Blocking client: JSON ``connect`` handshake, then bulk sendall.
+
+    Times from first payload byte to the sink's byte-count ack, i.e.
+    full delivery through the relay, not just the local send buffer.
+    """
+    s = socket.create_connection(("127.0.0.1", control_port))
+    req = {"op": "connect", "host": "127.0.0.1", "port": sink_port}
+    s.sendall(json.dumps(req).encode() + b"\n")
+    reply = b""
+    while not reply.endswith(b"\n"):
+        reply += s.recv(4096)
+    assert json.loads(reply).get("ok"), reply
+    payload = b"\xa5" * MB
+    t0 = time.perf_counter()
+    for _ in range(nbytes // MB):
+        s.sendall(payload)
+    s.shutdown(socket.SHUT_WR)
+    ack = b""
+    while not ack.endswith(b"\n"):
+        data = s.recv(4096)
+        if not data:
+            break
+        ack += data
+    out["elapsed"] = time.perf_counter() - t0
+    out["acked"] = int(ack)
+    s.close()
+
+
+async def single_chain_throughput(
+    pump_mode: str, nbytes: int, repeats: int = 3
+) -> float:
+    """One-way MB/s through an active (Fig. 3) relayed connection.
+
+    Endpoints run in OS threads on blocking sockets so the asyncio
+    loop carries only the relay's own pump — the quantity under test.
+    Best-of-``repeats``: loopback microbenchmarks are dominated by
+    scheduler noise in their worst iterations, so the max is the
+    stable estimator of what the data plane can do.
+    """
+    outer = await AioOuterServer(pump_mode=pump_mode).start()
+    best = 0.0
+    try:
+        for _ in range(repeats):
+            lsock = socket.socket()
+            lsock.bind(("127.0.0.1", 0))
+            lsock.listen(1)
+            sink_port = lsock.getsockname()[1]
+            sink_out: dict = {}
+            cli_out: dict = {}
+            await asyncio.gather(
+                asyncio.to_thread(_sink_thread, lsock, sink_out),
+                asyncio.to_thread(
+                    _client_thread, outer.control_port, sink_port, nbytes, cli_out
+                ),
+            )
+            lsock.close()
+            assert cli_out["acked"] == nbytes, (cli_out, nbytes)
+            best = max(best, nbytes / MB / cli_out["elapsed"])
+        return best
+    finally:
+        await outer.stop()
+
+
+async def relay_rtt(pump_mode: str, iters: int) -> dict:
+    """64-byte echo round-trips through the relay, microseconds."""
+    outer, inner, client = await _start(pump_mode, mux=True)
+
+    async def echo(reader, writer):
+        while True:
+            data = await reader.read(4096)
+            if not data:
+                break
+            writer.write(data)
+            await writer.drain()
+        writer.close()
+
+    echo_srv = await asyncio.start_server(echo, "127.0.0.1", 0)
+    echo_port = echo_srv.sockets[0].getsockname()[1]
+    try:
+        reader, writer = await client.connect("127.0.0.1", echo_port)
+        probe = b"\x5a" * 64
+        samples = []
+        for _ in range(iters):
+            t0 = time.perf_counter()
+            writer.write(probe)
+            await writer.drain()
+            await reader.readexactly(64)
+            samples.append((time.perf_counter() - t0) * 1e6)
+        writer.close()
+        samples.sort()
+        return {
+            "mean_us": round(statistics.fmean(samples), 1),
+            "p50_us": round(samples[len(samples) // 2], 1),
+            "p95_us": round(samples[int(len(samples) * 0.95)], 1),
+        }
+    finally:
+        echo_srv.close()
+        await outer.stop()
+        await inner.stop()
+
+
+async def passive_concurrent_throughput(
+    mux: bool, pump_mode: str, chains: int, nbytes_per_chain: int
+) -> dict:
+    """Aggregate MB/s over N concurrent passive (Fig. 4) chains."""
+    outer, inner, client = await _start(pump_mode, mux=mux)
+    try:
+        listener = await client.bind()
+        host, port = listener.proxy_addr
+        received = {"total": 0}
+        done = asyncio.Event()
+
+        async def drain_accepted():
+            async def drain_one(r, w):
+                while True:
+                    data = await r.read(1 << 20)
+                    if not data:
+                        break
+                    received["total"] += len(data)
+                w.close()
+                if received["total"] >= chains * nbytes_per_chain:
+                    done.set()
+
+            while True:
+                r, w = await listener.accept()
+                asyncio.ensure_future(drain_one(r, w))
+
+        accept_task = asyncio.ensure_future(drain_accepted())
+
+        async def one_peer():
+            r, w = await asyncio.open_connection(host, port)
+            payload = b"\x3c" * min(MB, nbytes_per_chain)
+            sent = 0
+            while sent < nbytes_per_chain:
+                w.write(payload)
+                await w.drain()
+                sent += len(payload)
+            w.write_eof()
+            await r.read(1)  # wait for relay close propagation
+            w.close()
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*[one_peer() for _ in range(chains)])
+        await asyncio.wait_for(done.wait(), 60)
+        elapsed = time.perf_counter() - t0
+        accept_task.cancel()
+        await listener.close()
+        return {
+            "mb_per_s": round(chains * nbytes_per_chain / MB / elapsed, 1),
+            "nxport_connections": inner.stats.nxport_connections,
+        }
+    finally:
+        await outer.stop()
+        await inner.stop()
+
+
+async def run_suite(quick: bool) -> dict:
+    bulk = 4 * MB if quick else 16 * MB
+    rtt_iters = 100 if quick else 400
+    chains = 16
+    per_chain = MB // 2 if quick else 2 * MB
+
+    results: dict = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": quick,
+            "bulk_bytes": bulk,
+            "chains": chains,
+            "per_chain_bytes": per_chain,
+        }
+    }
+
+    repeats = 2 if quick else 3
+    fixed_bw = await single_chain_throughput("fixed", bulk, repeats)
+    adaptive_bw = await single_chain_throughput("adaptive", bulk, repeats)
+    results["single_chain_active"] = {
+        "seed_fixed_4k_mb_per_s": round(fixed_bw, 1),
+        "adaptive_mb_per_s": round(adaptive_bw, 1),
+        "speedup": round(adaptive_bw / fixed_bw, 2),
+    }
+    print(f"single-chain active : fixed {fixed_bw:8.1f} MB/s   "
+          f"adaptive {adaptive_bw:8.1f} MB/s   "
+          f"({adaptive_bw / fixed_bw:.2f}x)")
+
+    fixed_rtt = await relay_rtt("fixed", rtt_iters)
+    adaptive_rtt = await relay_rtt("adaptive", rtt_iters)
+    results["rtt_64b"] = {"fixed": fixed_rtt, "adaptive": adaptive_rtt}
+    print(f"relay RTT (64 B)    : fixed p50 {fixed_rtt['p50_us']:7.1f} us   "
+          f"adaptive p50 {adaptive_rtt['p50_us']:7.1f} us")
+
+    legacy = await passive_concurrent_throughput(False, "fixed", chains, per_chain)
+    muxed = await passive_concurrent_throughput(True, "adaptive", chains, per_chain)
+    assert muxed["nxport_connections"] == 1, muxed
+    assert legacy["nxport_connections"] == chains, legacy
+    results["passive_16chain"] = {
+        "legacy_per_chain_conns": legacy,
+        "mux_single_conn": muxed,
+        "speedup": round(muxed["mb_per_s"] / legacy["mb_per_s"], 2),
+    }
+    print(f"16-chain passive    : legacy {legacy['mb_per_s']:8.1f} MB/s "
+          f"({legacy['nxport_connections']} nxport conns)   "
+          f"mux {muxed['mb_per_s']:8.1f} MB/s "
+          f"({muxed['nxport_connections']} nxport conn)")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small transfers (CI smoke run)")
+    parser.add_argument("--out", default=None,
+                        help="write results JSON here "
+                        "(default: BENCH_relay.json next to the repo root; "
+                        "'-' to skip)")
+    args = parser.parse_args(argv)
+    results = asyncio.run(run_suite(args.quick))
+
+    speedup = results["single_chain_active"]["speedup"]
+    if speedup < 2.0 and not args.quick:
+        print(f"WARNING: adaptive single-chain speedup {speedup:.2f}x "
+              "is below the 2x acceptance bar", file=sys.stderr)
+
+    if args.out != "-":
+        out = Path(args.out) if args.out else (
+            Path(__file__).resolve().parent.parent / "BENCH_relay.json"
+        )
+        out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

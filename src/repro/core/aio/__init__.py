@@ -18,13 +18,26 @@ or in-process via :class:`AioOuterServer` / :class:`AioInnerServer`
 
 from repro.core.aio.api import AioProxiedListener, AioProxyClient
 from repro.core.aio.firewall import GuardedDialer
-from repro.core.aio.relay import AioInnerServer, AioOuterServer, AioRelayStats
+from repro.core.aio.mux import MUX_MAGIC, ChainReset, MuxConnector
+from repro.core.aio.pump import AdaptiveChunker, tune_stream
+from repro.core.aio.relay import (
+    AioInnerServer,
+    AioOuterServer,
+    AioRelayStats,
+    Histogram,
+)
 
 __all__ = [
+    "AdaptiveChunker",
     "AioInnerServer",
     "AioOuterServer",
     "AioProxiedListener",
     "AioProxyClient",
     "AioRelayStats",
+    "ChainReset",
     "GuardedDialer",
+    "Histogram",
+    "MUX_MAGIC",
+    "MuxConnector",
+    "tune_stream",
 ]

@@ -18,6 +18,7 @@ from repro.core.aio.protocol import (
     read_control,
     write_control,
 )
+from repro.core.aio.pump import STREAM_LIMIT, tune_stream
 from repro.core.protocol import NXProxyError
 
 __all__ = ["AioProxyClient", "AioProxiedListener"]
@@ -96,9 +97,16 @@ class AioProxyClient:
         """(``NXProxyConnect``) open a relayed — or, when no proxy is
         configured, direct — connection to ``host:port``."""
         if not self.enabled:
-            return await asyncio.open_connection(host, port)
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=STREAM_LIMIT
+            )
+            tune_stream(writer)
+            return reader, writer
         assert self.outer_addr is not None
-        reader, writer = await asyncio.open_connection(*self.outer_addr)
+        reader, writer = await asyncio.open_connection(
+            *self.outer_addr, limit=STREAM_LIMIT
+        )
+        tune_stream(writer)
         request = {"op": "connect", "host": host, "port": port}
         if self.secret is not None:
             request["secret"] = self.secret
@@ -134,13 +142,19 @@ class AioProxyClient:
         queue: asyncio.Queue[StreamPair] = asyncio.Queue()
 
         async def on_chain(r: asyncio.StreamReader, w: asyncio.StreamWriter) -> None:
+            tune_stream(w)
             await queue.put((r, w))
 
-        local_server = await asyncio.start_server(on_chain, self.local_host, 0)
+        local_server = await asyncio.start_server(
+            on_chain, self.local_host, 0, limit=STREAM_LIMIT
+        )
         local_port = local_server.sockets[0].getsockname()[1]
 
         assert self.outer_addr is not None
-        reader, writer = await asyncio.open_connection(*self.outer_addr)
+        reader, writer = await asyncio.open_connection(
+            *self.outer_addr, limit=STREAM_LIMIT
+        )
+        tune_stream(writer)
         request = {
             "op": "bind",
             "client_host": self.local_host,

@@ -27,7 +27,12 @@ def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1", help="address to bind")
     parser.add_argument(
         "--chunk", type=int, default=DEFAULT_CHUNK,
-        help="relay read-buffer size in bytes",
+        help="relay read-buffer size in bytes (starting size when adaptive)",
+    )
+    parser.add_argument(
+        "--pump", choices=("adaptive", "fixed"), default="adaptive",
+        help="data-plane pump: adaptive chunk growth (default) or the "
+        "fixed-chunk drain-per-write baseline",
     )
     parser.add_argument("-v", "--verbose", action="store_true")
 
@@ -58,10 +63,16 @@ def outer_main(argv: list[str] | None = None) -> int:
         "--secret", default=None,
         help="shared secret clients must present (default: open)",
     )
+    parser.add_argument(
+        "--no-mux", action="store_true",
+        help="open one nxport connection per passive chain instead of "
+        "the shared frame-multiplexed link",
+    )
     args = parser.parse_args(argv)
     _setup_logging(args.verbose)
     server = AioOuterServer(
-        args.host, args.control_port, chunk=args.chunk, secret=args.secret
+        args.host, args.control_port, chunk=args.chunk, secret=args.secret,
+        pump_mode=args.pump, mux=not args.no_mux,
     )
     with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(_serve_forever(server))
@@ -84,7 +95,8 @@ def inner_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     _setup_logging(args.verbose)
     server = AioInnerServer(
-        args.host, args.nxport, chunk=args.chunk, allowed_peers=args.allow_from
+        args.host, args.nxport, chunk=args.chunk, allowed_peers=args.allow_from,
+        pump_mode=args.pump,
     )
     with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(_serve_forever(server))

@@ -15,6 +15,7 @@ from __future__ import annotations
 import asyncio
 from typing import Mapping, Optional
 
+from repro.core.aio.pump import STREAM_LIMIT, tune_stream
 from repro.simnet.firewall import Direction, Firewall, FirewallBlocked
 
 __all__ = ["GuardedDialer"]
@@ -91,4 +92,6 @@ class GuardedDialer:
             except KeyError:
                 raise FirewallBlocked(f"unknown destination label {dst_label!r}")
         self.check(src_label, dst_label, logical_port if logical_port is not None else port)
-        return await asyncio.open_connection(host, port)
+        reader, writer = await asyncio.open_connection(host, port, limit=STREAM_LIMIT)
+        tune_stream(writer)
+        return reader, writer

@@ -1,0 +1,558 @@
+"""Frame-multiplexed outer↔inner nxport link.
+
+The paper's firewall argument (§4, Fig. 4) is that the Nexus Proxy
+needs exactly **one** inbound pinhole: outer server → inner server on
+the nxport.  The seed implementation opened a *fresh* outer→inner TCP
+connection per passive chain — functionally fine on loopback, but
+unfaithful (a packet filter admitting one long-lived relay connection
+is a very different policy from admitting an unbounded connection
+rate) and slow (a TCP handshake plus a JSON control round-trip on
+every chain).
+
+This module multiplexes all passive chains of one outer↔inner pair
+onto a single persistent TCP connection carrying length-prefixed
+frames::
+
+    +----------+------+-----------+----------------+
+    | chain_id | type |  length   | payload ...    |
+    |  u32 BE  |  u8  |  u32 BE   | length bytes   |
+    +----------+------+-----------+----------------+
+
+Frame types:
+
+* ``OPEN``  — outer→inner; payload is a JSON ``{"host": H, "port": P}``
+  naming the firewalled client's private listener.  The inner server
+  dials it and answers ``OPEN_OK`` or ``OPEN_ERR`` (payload: reason).
+* ``DATA``  — opaque chain bytes, either direction.
+* ``EOF``   — half-close of the sender's direction.
+* ``RST``   — hard teardown of one chain (sibling chains unaffected).
+* ``WINDOW`` — flow-control credit: payload is a u32 count of bytes
+  the receiver has consumed and the sender may now send again.
+
+Each chain direction has a byte window (``DEFAULT_WINDOW``): DATA
+consumes credit at the sender, and the receiving side returns credit
+only after the bytes have been written toward the destination socket,
+so one stalled chain exerts backpressure on *its* sender without
+starving siblings or ballooning relay memory.
+
+The outer side (:class:`MuxConnector`) owns the link lifecycle:
+connects lazily, re-connects with exponential backoff when the link
+drops (in-flight chains die, as their TCP connections would), and
+re-establishes new chains over the fresh link.  The inner side is
+:func:`serve_mux_session`, entered by the inner server when a nxport
+connection opens with :data:`MUX_MAGIC` instead of a JSON control
+line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import struct
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.core.aio.pump import (
+    STREAM_LIMIT,
+    AdaptiveChunker,
+    maybe_drain,
+    tune_stream,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.aio.relay import AioRelayStats
+
+__all__ = [
+    "MUX_MAGIC",
+    "DEFAULT_WINDOW",
+    "FrameType",
+    "ChainReset",
+    "MuxError",
+    "MuxChain",
+    "MuxConnector",
+    "serve_mux_session",
+]
+
+log = logging.getLogger("repro.nexus_proxy.mux")
+
+#: First line on a nxport connection that selects the mux protocol
+#: (legacy per-chain connections send a JSON object instead).
+MUX_MAGIC = b"NXMUX/1\n"
+
+#: Per-chain, per-direction flow-control window in bytes.
+DEFAULT_WINDOW = 256 * 1024
+
+#: Hard cap on one frame's payload; an OPEN/DATA frame beyond this is
+#: a protocol violation (DATA is naturally bounded by the window).
+MAX_FRAME_PAYLOAD = 1 << 20
+
+_HEADER = struct.Struct("!IBI")  # chain_id, frame type, payload length
+_U32 = struct.Struct("!I")
+
+
+class FrameType:
+    OPEN = 1
+    OPEN_OK = 2
+    OPEN_ERR = 3
+    DATA = 4
+    EOF = 5
+    RST = 6
+    WINDOW = 7
+
+    NAMES = {1: "OPEN", 2: "OPEN_OK", 3: "OPEN_ERR",
+             4: "DATA", 5: "EOF", 6: "RST", 7: "WINDOW"}
+
+
+class MuxError(ConnectionError):
+    """Protocol violation or link failure on the mux connection."""
+
+
+class ChainReset(ConnectionError):
+    """One logical chain was torn down (RST or link drop)."""
+
+
+class MuxChain:
+    """One logical byte stream inside a mux session.
+
+    Exposes a real :class:`asyncio.StreamReader` for the inbound
+    direction (fed by the session's demux loop) and window-respecting
+    ``send_data``/``send_eof`` for the outbound one.
+    """
+
+    def __init__(self, session: "_MuxSession", chain_id: int, window: int) -> None:
+        self._session = session
+        self.chain_id = chain_id
+        self.reader = asyncio.StreamReader(limit=2 * window)
+        self._send_window = window
+        self._window_ok = asyncio.Event()
+        self._window_ok.set()
+        self._reset: Optional[BaseException] = None
+        self._sent_eof = False
+        #: Set by the opening side while waiting for OPEN_OK/OPEN_ERR.
+        self.open_reply: Optional[asyncio.Future] = None
+        #: Bytes sent + received over this chain (stats).
+        self.bytes_moved = 0
+
+    # -- outbound -----------------------------------------------------------
+
+    async def send_data(self, data: bytes) -> None:
+        """Send one DATA frame train, blocking while the peer's window
+        is exhausted."""
+        view = memoryview(data)
+        while view.nbytes:
+            while self._send_window <= 0 and self._reset is None:
+                self._window_ok.clear()
+                await self._window_ok.wait()
+            if self._reset is not None:
+                raise ChainReset(str(self._reset))
+            n = min(view.nbytes, self._send_window)
+            self._send_window -= n
+            self._session.send_frame(self.chain_id, FrameType.DATA, bytes(view[:n]))
+            self.bytes_moved += n
+            view = view[n:]
+            await maybe_drain(self._session.writer)
+
+    def send_eof(self) -> None:
+        if not self._sent_eof and self._reset is None:
+            self._sent_eof = True
+            with contextlib.suppress(Exception):
+                self._session.send_frame(self.chain_id, FrameType.EOF)
+
+    def send_rst(self) -> None:
+        with contextlib.suppress(Exception):
+            self._session.send_frame(self.chain_id, FrameType.RST)
+        self.abort(ChainReset(f"chain {self.chain_id} reset locally"))
+
+    # -- credit & teardown (called by the demux loop) -----------------------
+
+    def consumed(self, nbytes: int) -> None:
+        """Return ``nbytes`` of window credit to the peer — call after
+        the bytes were written toward their destination."""
+        if self._reset is None:
+            with contextlib.suppress(Exception):
+                self._session.send_frame(
+                    self.chain_id, FrameType.WINDOW, _U32.pack(nbytes)
+                )
+
+    def add_credit(self, nbytes: int) -> None:
+        self._send_window += nbytes
+        if self._send_window > 0:
+            self._window_ok.set()
+
+    def abort(self, exc: BaseException) -> None:
+        """Tear this chain down locally (RST received or link died)."""
+        if self._reset is not None:
+            return
+        self._reset = exc
+        self._window_ok.set()  # wake window waiters so they see the reset
+        if self.open_reply is not None and not self.open_reply.done():
+            self.open_reply.set_exception(ChainReset(str(exc)))
+        if self.reader.at_eof():
+            return
+        self.reader.feed_eof()
+
+
+class _MuxSession:
+    """Shared frame plumbing of one live mux connection (either side)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        stats: "AioRelayStats",
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.stats = stats
+        self.window = window
+        self.chains: Dict[int, MuxChain] = {}
+        self.alive = True
+
+    def send_frame(self, chain_id: int, ftype: int, payload: bytes = b"") -> None:
+        if not self.alive:
+            raise MuxError("mux link is down")
+        self.writer.write(_HEADER.pack(chain_id, ftype, len(payload)) + payload)
+        self.stats.mux_frames += 1
+
+    async def read_frame(self) -> "tuple[int, int, bytes]":
+        header = await self.reader.readexactly(_HEADER.size)
+        chain_id, ftype, length = _HEADER.unpack(header)
+        if ftype not in FrameType.NAMES:
+            raise MuxError(f"unknown frame type {ftype}")
+        if length > MAX_FRAME_PAYLOAD:
+            raise MuxError(f"oversized frame ({length} bytes)")
+        payload = await self.reader.readexactly(length) if length else b""
+        return chain_id, ftype, payload
+
+    def dispatch(self, chain_id: int, ftype: int, payload: bytes) -> bool:
+        """Route one non-OPEN frame to its chain.
+
+        Returns False for frames addressed to unknown chains — normal
+        after a local RST raced in-flight frames; they are dropped.
+        """
+        chain = self.chains.get(chain_id)
+        if chain is None:
+            return False
+        if ftype == FrameType.DATA:
+            chain.bytes_moved += len(payload)
+            chain.reader.feed_data(payload)
+        elif ftype == FrameType.EOF:
+            chain.reader.feed_eof()
+        elif ftype == FrameType.WINDOW:
+            (credit,) = _U32.unpack(payload)
+            chain.add_credit(credit)
+        elif ftype == FrameType.RST:
+            self.chains.pop(chain_id, None)
+            chain.abort(ChainReset(f"chain {chain_id} reset by peer"))
+        elif ftype in (FrameType.OPEN_OK, FrameType.OPEN_ERR):
+            fut = chain.open_reply
+            if fut is not None and not fut.done():
+                if ftype == FrameType.OPEN_OK:
+                    fut.set_result(None)
+                else:
+                    fut.set_exception(
+                        ChainReset(payload.decode("utf-8", "replace") or "refused")
+                    )
+        return True
+
+    def shutdown(self, exc: BaseException) -> None:
+        """Link died: abort every chain (their TCP connections would
+        have died with a real single-connection pinhole too)."""
+        self.alive = False
+        chains, self.chains = self.chains, {}
+        for chain in chains.values():
+            chain.abort(exc)
+        with contextlib.suppress(Exception):
+            self.writer.close()
+
+
+async def _run_chain_pumps(
+    chain: MuxChain,
+    sock_reader: asyncio.StreamReader,
+    sock_writer: asyncio.StreamWriter,
+    stats: "AioRelayStats",
+    chunker_min: int,
+) -> None:
+    """Bridge one established chain to its local TCP socket, both
+    directions, then clean up."""
+
+    async def sock_to_chain() -> None:
+        chunker = AdaptiveChunker(min_chunk=chunker_min)
+        try:
+            while True:
+                data = await sock_reader.read(chunker.size)
+                if not data:
+                    break
+                stats.on_chunk(len(data))
+                await chain.send_data(data)
+                chunker.on_read(len(data))
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            chain.send_eof()
+
+    async def chain_to_sock() -> None:
+        try:
+            while True:
+                data = await chain.reader.read(STREAM_LIMIT)
+                if not data:
+                    break
+                stats.on_chunk(len(data))
+                sock_writer.write(data)
+                await maybe_drain(sock_writer)
+                chain.consumed(len(data))
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                await sock_writer.drain()
+            with contextlib.suppress(Exception):
+                sock_writer.write_eof()
+
+    try:
+        await asyncio.gather(sock_to_chain(), chain_to_sock())
+    finally:
+        stats.chain_bytes.record(chain.bytes_moved)
+        with contextlib.suppress(Exception):
+            sock_writer.close()
+
+
+# ---------------------------------------------------------------------------
+# Outer side: persistent connector with reconnect
+# ---------------------------------------------------------------------------
+
+
+class MuxConnector:
+    """The outer server's end of one outer↔inner mux link.
+
+    Lazily connects on first :meth:`open_chain`; a background task
+    demultiplexes inbound frames.  When the link drops, every live
+    chain is aborted and the connector re-dials with exponential
+    backoff (``backoff_base`` doubling up to ``backoff_max``); chains
+    requested while down wait for the next successful dial (bounded by
+    ``open_timeout``).
+    """
+
+    def __init__(
+        self,
+        inner_host: str,
+        inner_port: int,
+        stats: "AioRelayStats",
+        *,
+        window: int = DEFAULT_WINDOW,
+        chunk: int = 4096,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        open_timeout: float = 10.0,
+    ) -> None:
+        self.inner_host = inner_host
+        self.inner_port = inner_port
+        self.stats = stats
+        self.window = window
+        self.chunk = chunk
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.open_timeout = open_timeout
+        self._session: Optional[_MuxSession] = None
+        self._session_ready = asyncio.Event()
+        self._run_task: Optional[asyncio.Task] = None
+        self._next_chain_id = 1
+        self._closed = False
+        #: Successful link (re-)establishments; 1 after first connect.
+        self.connects = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _ensure_running(self) -> None:
+        if self._run_task is None or self._run_task.done():
+            self._run_task = asyncio.ensure_future(self._run())
+
+    async def _run(self) -> None:
+        """Connect / serve / reconnect loop."""
+        backoff = self.backoff_base
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.inner_host, self.inner_port, limit=STREAM_LIMIT
+                )
+            except OSError as exc:
+                log.warning(
+                    "mux dial to %s:%d failed (%s); retrying in %.2fs",
+                    self.inner_host, self.inner_port, exc, backoff,
+                )
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.backoff_max)
+                continue
+            tune_stream(writer)
+            writer.write(MUX_MAGIC)
+            session = _MuxSession(reader, writer, self.stats, self.window)
+            self._session = session
+            self.connects += 1
+            if self.connects > 1:
+                self.stats.mux_reconnects += 1
+            self._session_ready.set()
+            backoff = self.backoff_base
+            log.info(
+                "mux link up to %s:%d (connect #%d)",
+                self.inner_host, self.inner_port, self.connects,
+            )
+            try:
+                while True:
+                    chain_id, ftype, payload = await session.read_frame()
+                    session.dispatch(chain_id, ftype, payload)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError, MuxError) as exc:
+                self._session_ready.clear()
+                self._session = None
+                session.shutdown(ChainReset(f"mux link dropped: {exc}"))
+                if not self._closed:
+                    log.warning("mux link to %s:%d dropped: %s",
+                                self.inner_host, self.inner_port, exc)
+            except asyncio.CancelledError:
+                session.shutdown(ChainReset("mux connector stopped"))
+                raise
+
+    async def _current_session(self) -> _MuxSession:
+        self._ensure_running()
+
+        async def wait_for_link() -> _MuxSession:
+            while True:
+                await self._session_ready.wait()
+                session = self._session
+                if session is not None and session.alive:
+                    return session
+                await asyncio.sleep(0.01)  # link flapped; wait for redial
+
+        # wait_for (not asyncio.timeout) — the latter is 3.11+.
+        return await asyncio.wait_for(wait_for_link(), self.open_timeout)
+
+    async def stop(self) -> None:
+        self._closed = True
+        if self._run_task is not None:
+            self._run_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._run_task
+            self._run_task = None
+        if self._session is not None:
+            self._session.shutdown(ChainReset("mux connector stopped"))
+            self._session = None
+        self._session_ready.clear()
+
+    async def drop_link(self) -> None:
+        """Abort the live TCP link (chaos hook for tests): chains die,
+        the connector re-dials automatically."""
+        session = self._session
+        if session is not None:
+            transport = session.writer.transport
+            with contextlib.suppress(Exception):
+                transport.abort()
+
+    # -- chain establishment ------------------------------------------------
+
+    async def open_chain(self, host: str, port: int) -> "tuple[MuxChain, _MuxSession]":
+        """OPEN a new chain toward the firewalled client at
+        ``host:port``; returns when the inner server confirmed."""
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        session = await self._current_session()
+        chain_id = self._next_chain_id
+        self._next_chain_id += 1
+        chain = MuxChain(session, chain_id, self.window)
+        chain.open_reply = loop.create_future()
+        session.chains[chain_id] = chain
+        payload = json.dumps({"host": host, "port": port}).encode()
+        session.send_frame(chain_id, FrameType.OPEN, payload)
+        await session.writer.drain()
+        try:
+            await asyncio.wait_for(asyncio.shield(chain.open_reply), self.open_timeout)
+        except (ChainReset, asyncio.TimeoutError):
+            session.chains.pop(chain_id, None)
+            raise
+        finally:
+            chain.open_reply = None
+        self.stats.chain_setup_us.record(int((loop.time() - t0) * 1e6))
+        return chain, session
+
+    async def relay_chain(
+        self,
+        host: str,
+        port: int,
+        sock_reader: asyncio.StreamReader,
+        sock_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Establish a chain and bridge it to an accepted peer socket
+        until both directions finish."""
+        chain, session = await self.open_chain(host, port)
+        self.stats.passive_chains += 1
+        try:
+            await _run_chain_pumps(
+                chain, sock_reader, sock_writer, self.stats, self.chunk
+            )
+        finally:
+            if session.chains.pop(chain.chain_id, None) is not None and session.alive:
+                chain.send_rst()
+
+
+# ---------------------------------------------------------------------------
+# Inner side: serve one mux session on an accepted nxport connection
+# ---------------------------------------------------------------------------
+
+
+async def serve_mux_session(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    stats: "AioRelayStats",
+    *,
+    window: int = DEFAULT_WINDOW,
+    chunk: int = 4096,
+) -> None:
+    """Inner-server end of a mux link (the ``MUX_MAGIC`` line has
+    already been consumed by the caller).  Serves OPEN requests until
+    the link closes."""
+    session = _MuxSession(reader, writer, stats, window)
+    tasks: set[asyncio.Task] = set()
+
+    async def handle_open(chain_id: int, payload: bytes) -> None:
+        try:
+            req = json.loads(payload)
+            host, port = req["host"], int(req["port"])
+            onward_r, onward_w = await asyncio.open_connection(
+                host, port, limit=STREAM_LIMIT
+            )
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            stats.failed_requests += 1
+            session.chains.pop(chain_id, None)
+            with contextlib.suppress(Exception):
+                session.send_frame(chain_id, FrameType.OPEN_ERR, str(exc).encode())
+            return
+        tune_stream(onward_w)
+        stats.passive_chains += 1
+        chain = session.chains[chain_id]
+        session.send_frame(chain_id, FrameType.OPEN_OK)
+        try:
+            await _run_chain_pumps(chain, onward_r, onward_w, stats, chunk)
+        finally:
+            if session.chains.pop(chain_id, None) is not None and session.alive:
+                chain.send_rst()
+
+    try:
+        while True:
+            chain_id, ftype, payload = await session.read_frame()
+            if ftype == FrameType.OPEN:
+                if chain_id in session.chains:
+                    raise MuxError(f"duplicate OPEN for chain {chain_id}")
+                session.chains[chain_id] = MuxChain(session, chain_id, window)
+                task = asyncio.ensure_future(handle_open(chain_id, payload))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            else:
+                session.dispatch(chain_id, ftype, payload)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError, MuxError):
+        pass
+    finally:
+        session.shutdown(ChainReset("mux link closed"))
+        for task in list(tasks):
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)

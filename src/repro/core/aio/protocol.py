@@ -26,6 +26,7 @@ from typing import Any
 __all__ = [
     "MAX_CONTROL_LINE",
     "ProtocolError",
+    "parse_control_line",
     "read_control",
     "write_control",
     "ok_reply",
@@ -41,13 +42,11 @@ class ProtocolError(ConnectionError):
     """Malformed control traffic."""
 
 
-async def read_control(reader: asyncio.StreamReader) -> dict[str, Any]:
-    """Read one JSON control message; raises :class:`ProtocolError` on
-    garbage, oversize lines, or early EOF."""
-    try:
-        line = await reader.readline()
-    except (asyncio.LimitOverrunError, ValueError) as exc:
-        raise ProtocolError(f"control line unreadable: {exc}") from exc
+def parse_control_line(line: bytes) -> dict[str, Any]:
+    """Parse one already-read control line; raises
+    :class:`ProtocolError` on garbage, oversize lines, or EOF (empty
+    line).  Split out of :func:`read_control` so the inner server can
+    sniff the first nxport line for the mux magic before parsing."""
     if not line:
         raise ProtocolError("connection closed before control message")
     if len(line) > MAX_CONTROL_LINE:
@@ -59,6 +58,16 @@ async def read_control(reader: asyncio.StreamReader) -> dict[str, Any]:
     if not isinstance(msg, dict):
         raise ProtocolError(f"control message must be an object, got {type(msg).__name__}")
     return msg
+
+
+async def read_control(reader: asyncio.StreamReader) -> dict[str, Any]:
+    """Read one JSON control message; raises :class:`ProtocolError` on
+    garbage, oversize lines, or early EOF."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise ProtocolError(f"control line unreadable: {exc}") from exc
+    return parse_control_line(line)
 
 
 def write_control(writer: asyncio.StreamWriter, msg: dict[str, Any]) -> None:

@@ -3,8 +3,21 @@
 Structurally identical to the simulated servers in
 :mod:`repro.core.outer` / :mod:`repro.core.inner`: the outer server
 answers ``connect`` and ``bind`` requests on its control port; the
-inner server answers ``relayto`` on the nxport; established chains are
-pumped chunk-by-chunk in both directions.
+inner server answers the nxport.  Two data planes exist behind the
+same control protocol:
+
+* **mux** (default for passive chains): all chains of one outer↔inner
+  pair share a single persistent frame-multiplexed nxport connection
+  (:mod:`repro.core.aio.mux`) — the paper's one-pinhole firewall story,
+  Fig. 4 with exactly one outer→inner TCP connection.
+* **legacy** (``mux=False``): one fresh nxport connection per chain
+  with a JSON ``relayto`` handshake — kept as the ablation baseline.
+
+Byte copying uses the adaptive pump (:mod:`repro.core.aio.pump`):
+read sizes grow 4 KB → 256 KB while the writer keeps up, ``drain()``
+is awaited only past the transport high-water mark, and every relay
+socket runs with ``TCP_NODELAY``.  ``pump_mode="fixed"`` restores the
+seed behaviour (fixed 4 KB reads, drain per chunk) for benchmarking.
 """
 
 from __future__ import annotations
@@ -13,24 +26,127 @@ import asyncio
 import contextlib
 import logging
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
+from repro.core.aio.mux import (
+    MUX_MAGIC,
+    ChainReset,
+    MuxConnector,
+    serve_mux_session,
+)
 from repro.core.aio.protocol import (
     ProtocolError,
     error_reply,
     ok_reply,
+    parse_control_line,
     read_control,
     require_fields,
     require_port,
     write_control,
 )
+from repro.core.aio.pump import (
+    MIN_CHUNK,
+    STREAM_LIMIT,
+    pump,
+    tune_stream,
+)
 
-__all__ = ["AioRelayStats", "AioOuterServer", "AioInnerServer", "DEFAULT_CHUNK"]
+__all__ = [
+    "AioRelayStats",
+    "AioOuterServer",
+    "AioInnerServer",
+    "Histogram",
+    "DEFAULT_CHUNK",
+]
 
 log = logging.getLogger("repro.nexus_proxy")
 
 #: Relay read-buffer size — the live analogue of RelayConfig.chunk_bytes.
-DEFAULT_CHUNK = 4096
+#: With the adaptive pump this is the *starting* size; in
+#: ``pump_mode="fixed"`` it is the whole story, as in the seed.
+DEFAULT_CHUNK = MIN_CHUNK
+
+
+class Histogram:
+    """Fixed-bucket power-of-two histogram: no per-record allocation,
+    one ``bit_length`` and one list increment per sample."""
+
+    __slots__ = ("counts",)
+
+    #: Bucket ``i`` counts samples with ``2**(i-1) < value <= 2**i - 1``
+    #: by bit length; the last bucket absorbs everything larger.
+    NBUCKETS = 32
+
+    def __init__(self) -> None:
+        self.counts = [0] * self.NBUCKETS
+
+    def record(self, value: int) -> None:
+        idx = value.bit_length() if value > 0 else 0
+        if idx >= self.NBUCKETS:
+            idx = self.NBUCKETS - 1
+        self.counts[idx] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def to_dict(self) -> "dict[str, int]":
+        """Sparse ``{"<=upper_bound": count}`` mapping of non-empty
+        buckets, for :meth:`AioRelayStats.snapshot`."""
+        out = {}
+        for i, count in enumerate(self.counts):
+            if count:
+                out[f"<={(1 << i) - 1}"] = count
+        return out
+
+
+@dataclass
+class AioRelayStats:
+    """Forwarding counters of one live relay daemon."""
+
+    active_connects: int = 0
+    passive_binds: int = 0
+    passive_chains: int = 0
+    chunks_relayed: int = 0
+    bytes_relayed: int = 0
+    failed_requests: int = 0
+    #: TCP connections accepted on the nxport (inner server only).
+    #: With the mux plane this stays at 1 per outer server regardless
+    #: of how many chains are relayed — the single-pinhole assertion.
+    nxport_connections: int = 0
+    #: Mux frames sent by this daemon's sessions.
+    mux_frames: int = 0
+    #: Mux link re-establishments after a drop (outer server only).
+    mux_reconnects: int = 0
+    #: Per-chunk forwarded-size histogram (log2 buckets of bytes).
+    chunk_bytes: Histogram = field(default_factory=Histogram)
+    #: Per-chain lifetime byte totals (log2 buckets of bytes).
+    chain_bytes: Histogram = field(default_factory=Histogram)
+    #: Chain establishment latency (log2 buckets of microseconds).
+    chain_setup_us: Histogram = field(default_factory=Histogram)
+
+    def on_chunk(self, nbytes: int) -> None:
+        """One forwarded chunk — the pump hot path."""
+        self.chunks_relayed += 1
+        self.bytes_relayed += nbytes
+        self.chunk_bytes.record(nbytes)
+
+    def snapshot(self) -> "dict[str, object]":
+        """Plain-data view of every counter and histogram."""
+        return {
+            "active_connects": self.active_connects,
+            "passive_binds": self.passive_binds,
+            "passive_chains": self.passive_chains,
+            "chunks_relayed": self.chunks_relayed,
+            "bytes_relayed": self.bytes_relayed,
+            "failed_requests": self.failed_requests,
+            "nxport_connections": self.nxport_connections,
+            "mux_frames": self.mux_frames,
+            "mux_reconnects": self.mux_reconnects,
+            "chunk_bytes_hist": self.chunk_bytes.to_dict(),
+            "chain_bytes_hist": self.chain_bytes.to_dict(),
+            "chain_setup_us_hist": self.chain_setup_us.to_dict(),
+        }
 
 
 def graceful_handler(fn):
@@ -53,39 +169,20 @@ def graceful_handler(fn):
     return wrapper
 
 
-@dataclass
-class AioRelayStats:
-    """Forwarding counters of one live relay daemon."""
-
-    active_connects: int = 0
-    passive_binds: int = 0
-    passive_chains: int = 0
-    chunks_relayed: int = 0
-    bytes_relayed: int = 0
-    failed_requests: int = 0
-
-
 async def _pump(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
     stats: AioRelayStats,
     chunk: int,
+    pump_mode: str = "adaptive",
 ) -> None:
     """Copy bytes reader→writer until EOF or error, then half-close."""
-    try:
-        while True:
-            data = await reader.read(chunk)
-            if not data:
-                break
-            stats.chunks_relayed += 1
-            stats.bytes_relayed += len(data)
-            writer.write(data)
-            await writer.drain()
-    except (ConnectionError, asyncio.IncompleteReadError, OSError):
-        pass
-    finally:
-        with contextlib.suppress(Exception):
-            writer.write_eof()
+    await pump(
+        reader,
+        writer,
+        fixed_chunk=chunk if pump_mode == "fixed" else None,
+        on_chunk=stats.on_chunk,
+    )
 
 
 async def _relay_pair(
@@ -95,12 +192,13 @@ async def _relay_pair(
     b_writer: asyncio.StreamWriter,
     stats: AioRelayStats,
     chunk: int,
+    pump_mode: str = "adaptive",
 ) -> None:
     """Bidirectional relay; returns when both directions finish."""
     try:
         await asyncio.gather(
-            _pump(a_reader, b_writer, stats, chunk),
-            _pump(b_reader, a_writer, stats, chunk),
+            _pump(a_reader, b_writer, stats, chunk, pump_mode),
+            _pump(b_reader, a_writer, stats, chunk, pump_mode),
         )
     finally:
         for w in (a_writer, b_writer):
@@ -109,13 +207,30 @@ async def _relay_pair(
 
 
 class _Server:
-    """Common lifecycle for the two daemons."""
+    """Common lifecycle for the two daemons.
 
-    def __init__(self, host: str, chunk: int) -> None:
+    ``pump_mode="fixed"`` is the *seed data plane*, kept as the
+    ablation/benchmark baseline: fixed ``chunk``-byte reads with a
+    ``drain()`` per write, default (64 KB) stream limits, and untuned
+    sockets (no ``TCP_NODELAY``, default write buffers) — exactly the
+    configuration the adaptive plane replaced.
+    """
+
+    def __init__(self, host: str, chunk: int, pump_mode: str = "adaptive") -> None:
+        if pump_mode not in ("adaptive", "fixed"):
+            raise ValueError(f"pump_mode must be 'adaptive' or 'fixed', got {pump_mode!r}")
         self.host = host
         self.chunk = chunk
+        self.pump_mode = pump_mode
+        #: StreamReader ``limit=`` for every socket this daemon opens.
+        self.stream_limit = STREAM_LIMIT if pump_mode == "adaptive" else 2 ** 16
         self.stats = AioRelayStats()
         self._server: Optional[asyncio.base_events.Server] = None
+
+    def tune(self, writer: asyncio.StreamWriter) -> None:
+        """Apply socket tuning — a no-op in the seed-baseline mode."""
+        if self.pump_mode == "adaptive":
+            tune_stream(writer)
 
     @property
     def running(self) -> bool:
@@ -136,7 +251,12 @@ class _Server:
 
 
 class AioOuterServer(_Server):
-    """The live outer server: control port + dynamic public ports."""
+    """The live outer server: control port + dynamic public ports.
+
+    ``mux=True`` (default) relays all passive chains of one inner
+    server over a single persistent nxport connection; ``mux=False``
+    keeps the seed's connection-per-chain behaviour.
+    """
 
     def __init__(
         self,
@@ -144,26 +264,49 @@ class AioOuterServer(_Server):
         control_port: int = 0,
         chunk: int = DEFAULT_CHUNK,
         secret: "str | None" = None,
+        pump_mode: str = "adaptive",
+        mux: bool = True,
     ) -> None:
-        super().__init__(host, chunk)
+        super().__init__(host, chunk, pump_mode)
         self.control_port = control_port
         #: Optional shared secret every connect/bind request must carry.
         self.secret = secret
+        self.mux = mux
         self._public_servers: set[asyncio.base_events.Server] = set()
+        #: One persistent mux link per (inner_host, inner_port).
+        self._mux_links: Dict[Tuple[str, int], MuxConnector] = {}
 
     async def start(self) -> "AioOuterServer":
         self._server = await asyncio.start_server(
-            self._handle_control, self.host, self.control_port
+            self._handle_control, self.host, self.control_port,
+            limit=self.stream_limit,
         )
         self.control_port = self.bound_port
         log.info("outer server listening on %s:%d", self.host, self.control_port)
         return self
 
     async def stop(self) -> None:
-        for srv in list(self._public_servers):
+        # Satellite fix: the seed close()d public servers without
+        # wait_closed(), leaking their sockets into the next test.
+        public, self._public_servers = list(self._public_servers), set()
+        for srv in public:
             srv.close()
-        self._public_servers.clear()
+        for srv in public:
+            with contextlib.suppress(Exception):
+                await srv.wait_closed()
+        links, self._mux_links = list(self._mux_links.values()), {}
+        for link in links:
+            await link.stop()
         await super().stop()
+
+    def mux_link(self, inner_host: str, inner_port: int) -> MuxConnector:
+        """The (lazily created) persistent link to one inner server."""
+        key = (inner_host, inner_port)
+        link = self._mux_links.get(key)
+        if link is None:
+            link = MuxConnector(inner_host, inner_port, self.stats, chunk=self.chunk)
+            self._mux_links[key] = link
+        return link
 
     # -- control handling ---------------------------------------------------
 
@@ -171,6 +314,7 @@ class AioOuterServer(_Server):
     async def _handle_control(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self.tune(writer)
         try:
             msg = await read_control(reader)
         except ProtocolError as exc:
@@ -203,7 +347,9 @@ class AioOuterServer(_Server):
         try:
             require_fields(msg, "host", "port")
             port = require_port(msg["port"])
-            onward_r, onward_w = await asyncio.open_connection(msg["host"], port)
+            onward_r, onward_w = await asyncio.open_connection(
+                msg["host"], port, limit=self.stream_limit
+            )
         except (ProtocolError, OSError) as exc:
             self.stats.failed_requests += 1
             write_control(writer, error_reply(f"connect failed: {exc}"))
@@ -211,10 +357,13 @@ class AioOuterServer(_Server):
                 await writer.drain()
             writer.close()
             return
+        self.tune(onward_w)
         self.stats.active_connects += 1
         write_control(writer, ok_reply())
         await writer.drain()
-        await _relay_pair(reader, writer, onward_r, onward_w, self.stats, self.chunk)
+        await _relay_pair(
+            reader, writer, onward_r, onward_w, self.stats, self.chunk, self.pump_mode
+        )
 
     async def _handle_bind(self, msg, reader, writer) -> None:
         try:
@@ -239,8 +388,30 @@ class AioOuterServer(_Server):
                     pw.close()
 
         async def _chain_peer(pr: asyncio.StreamReader, pw: asyncio.StreamWriter) -> None:
+            self.tune(pw)
+            if self.mux:
+                await _chain_peer_mux(pr, pw)
+            else:
+                await _chain_peer_legacy(pr, pw)
+
+        async def _chain_peer_mux(pr, pw) -> None:
+            """One logical chain over the shared nxport link."""
+            link = self.mux_link(inner_host, inner_port)
             try:
-                ir, iw = await asyncio.open_connection(inner_host, inner_port)
+                await link.relay_chain(client_host, client_port, pr, pw)
+            except (ChainReset, ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                self.stats.failed_requests += 1
+                log.warning("mux passive chain failed: %s", exc)
+                with contextlib.suppress(Exception):
+                    pw.close()
+
+        async def _chain_peer_legacy(pr, pw) -> None:
+            """Seed behaviour: fresh nxport connection per chain."""
+            try:
+                ir, iw = await asyncio.open_connection(
+                    inner_host, inner_port, limit=self.stream_limit
+                )
+                self.tune(iw)
                 write_control(iw, {"op": "relayto", "host": client_host,
                                    "port": client_port})
                 await iw.drain()
@@ -253,9 +424,11 @@ class AioOuterServer(_Server):
                 pw.close()
                 return
             self.stats.passive_chains += 1
-            await _relay_pair(pr, pw, ir, iw, self.stats, self.chunk)
+            await _relay_pair(pr, pw, ir, iw, self.stats, self.chunk, self.pump_mode)
 
-        public = await asyncio.start_server(on_peer, self.host, 0)
+        public = await asyncio.start_server(
+            on_peer, self.host, 0, limit=self.stream_limit
+        )
         self._public_servers.add(public)
         public_port = public.sockets[0].getsockname()[1]
         self.stats.passive_binds += 1
@@ -271,6 +444,8 @@ class AioOuterServer(_Server):
                 pass
         finally:
             public.close()
+            with contextlib.suppress(Exception):
+                await public.wait_closed()
             self._public_servers.discard(public)
             writer.close()
             log.info("released public port %d", public_port)
@@ -278,6 +453,11 @@ class AioOuterServer(_Server):
 
 class AioInnerServer(_Server):
     """The live inner server, listening on the nxport.
+
+    Speaks both nxport dialects: a connection starting with
+    ``NXMUX/1`` becomes a persistent frame-multiplexed link carrying
+    many chains; a JSON line is the legacy per-chain ``relayto``
+    handshake.
 
     ``allowed_peers`` is a defence-in-depth copy of the firewall
     pinhole: when set, connections whose source address is not listed
@@ -291,13 +471,16 @@ class AioInnerServer(_Server):
         nxport: int = 0,
         chunk: int = DEFAULT_CHUNK,
         allowed_peers: "list[str] | None" = None,
+        pump_mode: str = "adaptive",
     ) -> None:
-        super().__init__(host, chunk)
+        super().__init__(host, chunk, pump_mode)
         self.nxport = nxport
         self.allowed_peers = allowed_peers
 
     async def start(self) -> "AioInnerServer":
-        self._server = await asyncio.start_server(self._handle, self.host, self.nxport)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.nxport, limit=self.stream_limit
+        )
         self.nxport = self.bound_port
         log.info("inner server listening on %s:%d (nxport)", self.host, self.nxport)
         return self
@@ -306,6 +489,8 @@ class AioInnerServer(_Server):
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self.stats.nxport_connections += 1
+        self.tune(writer)
         if self.allowed_peers is not None:
             peer = writer.get_extra_info("peername")
             if peer is None or peer[0] not in self.allowed_peers:
@@ -319,12 +504,32 @@ class AioInnerServer(_Server):
                 writer.close()
                 return
         try:
-            msg = await read_control(reader)
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError, ConnectionError, OSError):
+            writer.close()
+            return
+        if line == MUX_MAGIC:
+            log.info("nxport connection switched to mux framing")
+            await serve_mux_session(
+                reader, writer, self.stats, chunk=self.chunk
+            )
+            with contextlib.suppress(Exception):
+                writer.close()
+            return
+        await self._handle_legacy(line, reader, writer)
+
+    async def _handle_legacy(
+        self, line: bytes, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            msg = parse_control_line(line)
             if msg.get("op") != "relayto":
                 raise ProtocolError(f"unknown op {msg.get('op')!r}")
             require_fields(msg, "host", "port")
             port = require_port(msg["port"])
-            onward_r, onward_w = await asyncio.open_connection(msg["host"], port)
+            onward_r, onward_w = await asyncio.open_connection(
+                msg["host"], port, limit=self.stream_limit
+            )
         except (ProtocolError, OSError) as exc:
             self.stats.failed_requests += 1
             with contextlib.suppress(Exception):
@@ -332,7 +537,10 @@ class AioInnerServer(_Server):
                 await writer.drain()
             writer.close()
             return
+        self.tune(onward_w)
         self.stats.passive_chains += 1
         write_control(writer, ok_reply())
         await writer.drain()
-        await _relay_pair(reader, writer, onward_r, onward_w, self.stats, self.chunk)
+        await _relay_pair(
+            reader, writer, onward_r, onward_w, self.stats, self.chunk, self.pump_mode
+        )

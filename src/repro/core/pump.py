@@ -12,6 +12,16 @@ already inside the forwarding delay are delivered before the
 destination is closed — otherwise a sender that writes-then-closes
 (the normal last-message pattern) would lose its tail through the
 relay.
+
+Adaptive chunking (``config.adaptive_chunking``) models the live data
+plane's growing read buffers: after a blocking receive, any frames
+*already queued* on the source socket are drained in the same wake-up
+(one ``per_chunk_cpu`` charge for the whole batch instead of one per
+frame), and the read budget doubles from ``chunk_bytes`` toward
+``max_chunk_bytes`` whenever a wake-up fills it.  Frames are still
+forwarded individually — framing and ordering are untouched; only the
+relay's wake-up/CPU granularity changes, which is exactly what a
+bigger ``read()`` buys a real user-level relay.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ def relay_pump(
     sim = host.sim
     outstanding = 0
     drained: Optional[Event] = None
+    read_budget = config.chunk_bytes  # adaptive read size (grows)
 
     def _forward(payload, nbytes: int) -> Iterator[Event]:
         nonlocal outstanding, drained
@@ -64,12 +75,28 @@ def relay_pump(
                 yield drained
             dst.close()
             return
-        # Occupying CPU: read+copy+write on the relay box.
-        yield from host.execute(config.chunk_cost(msg.nbytes))
-        stats.frames_relayed += 1
-        stats.bytes_relayed += msg.nbytes
+        batch = [msg]
+        batch_bytes = msg.nbytes
+        if config.adaptive_chunking:
+            # One wake-up drains whatever already sits in the receive
+            # queue, up to the current read budget.
+            while batch_bytes < read_budget and src.rx_pending > 0:
+                extra = src.try_recv()
+                if extra is None:
+                    break
+                batch.append(extra)
+                batch_bytes += extra.nbytes
+            if batch_bytes >= read_budget:
+                read_budget = min(read_budget * 2, config.max_chunk_bytes)
+        # Occupying CPU: one read+copy+write wake-up for the batch.
+        yield from host.execute(
+            config.per_chunk_cpu + config.per_byte_cpu * batch_bytes
+        )
+        stats.frames_relayed += len(batch)
+        stats.bytes_relayed += batch_bytes
         if dst.closed:
             src.close()
             return
-        outstanding += 1
-        sim.process(_forward(msg.payload, msg.nbytes), name=f"fwd@{host.name}")
+        for m in batch:
+            outstanding += 1
+            sim.process(_forward(m.payload, m.nbytes), name=f"fwd@{host.name}")

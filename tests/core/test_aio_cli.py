@@ -21,26 +21,40 @@ def test_outer_parser_options(monkeypatch):
     built = {}
 
     class FakeServer:
-        def __init__(self, host, port, chunk, secret):
-            built.update(host=host, port=port, chunk=chunk, secret=secret)
+        def __init__(self, host, port, chunk, secret, pump_mode, mux):
+            built.update(host=host, port=port, chunk=chunk, secret=secret,
+                         pump_mode=pump_mode, mux=mux)
 
     monkeypatch.setattr(cli, "AioOuterServer", FakeServer)
     monkeypatch.setattr(cli.asyncio, "run", lambda coro: coro.close())
     cli.outer_main(
         ["--host", "0.0.0.0", "--control-port", "7777",
-         "--chunk", "1024", "--secret", "s3cret"]
+         "--chunk", "1024", "--secret", "s3cret", "--pump", "fixed", "--no-mux"]
     )
     assert built == {"host": "0.0.0.0", "port": 7777, "chunk": 1024,
-                     "secret": "s3cret"}
+                     "secret": "s3cret", "pump_mode": "fixed", "mux": False}
+
+
+def test_outer_parser_mux_default_on(monkeypatch):
+    built = {}
+
+    class FakeServer:
+        def __init__(self, host, port, chunk, secret, pump_mode, mux):
+            built.update(pump_mode=pump_mode, mux=mux)
+
+    monkeypatch.setattr(cli, "AioOuterServer", FakeServer)
+    monkeypatch.setattr(cli.asyncio, "run", lambda coro: coro.close())
+    cli.outer_main([])
+    assert built == {"pump_mode": "adaptive", "mux": True}
 
 
 def test_inner_parser_options(monkeypatch):
     built = {}
 
     class FakeServer:
-        def __init__(self, host, nxport, chunk, allowed_peers):
+        def __init__(self, host, nxport, chunk, allowed_peers, pump_mode):
             built.update(host=host, nxport=nxport, chunk=chunk,
-                         allowed_peers=allowed_peers)
+                         allowed_peers=allowed_peers, pump_mode=pump_mode)
 
     monkeypatch.setattr(cli, "AioInnerServer", FakeServer)
     monkeypatch.setattr(cli.asyncio, "run", lambda coro: coro.close())
@@ -56,7 +70,7 @@ def test_inner_allow_from_defaults_to_open(monkeypatch):
     built = {}
 
     class FakeServer:
-        def __init__(self, host, nxport, chunk, allowed_peers):
+        def __init__(self, host, nxport, chunk, allowed_peers, pump_mode):
             built["allowed_peers"] = allowed_peers
 
     monkeypatch.setattr(cli, "AioInnerServer", FakeServer)

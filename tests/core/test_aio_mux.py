@@ -1,0 +1,322 @@
+"""Tests for the frame-multiplexed nxport data plane.
+
+The firewall-fidelity property under test: however many passive
+chains are live, the outer and inner servers share exactly **one**
+TCP connection through the pinhole (``stats.nxport_connections``),
+carrying interleaved per-chain frames with flow control; a chain
+dying must not disturb its siblings; the link dying must heal by
+reconnect.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.aio import (
+    AioInnerServer,
+    AioOuterServer,
+    AioProxyClient,
+)
+from repro.core.aio.mux import ChainReset, FrameType, MuxConnector
+from repro.core.aio.relay import Histogram
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+async def start_deployment(**outer_kwargs):
+    outer = await AioOuterServer(**outer_kwargs).start()
+    inner = await AioInnerServer().start()
+    client = AioProxyClient(
+        outer_addr=("127.0.0.1", outer.control_port),
+        inner_addr=("127.0.0.1", inner.nxport),
+    )
+    return outer, inner, client
+
+
+async def echo_chain(listener):
+    """Serve accepted chains echo-style until cancelled."""
+    async def serve(r, w):
+        while True:
+            data = await r.read(65536)
+            if not data:
+                break
+            w.write(data)
+            await w.drain()
+        w.close()
+
+    while True:
+        r, w = await listener.accept()
+        asyncio.ensure_future(serve(r, w))
+
+
+def test_concurrent_chains_share_one_nxport_connection():
+    """The acceptance criterion: N chains, one outer→inner connection."""
+
+    async def main():
+        outer, inner, client = await start_deployment()
+        try:
+            listener = await client.bind()
+            echo_task = asyncio.ensure_future(echo_chain(listener))
+            host, port = listener.proxy_addr
+
+            async def one_peer(i):
+                r, w = await asyncio.open_connection(host, port)
+                msg = bytes([i]) * (1024 * (i + 1))
+                w.write(msg)
+                await w.drain()
+                w.write_eof()
+                got = await r.read(-1)
+                w.close()
+                return got == msg
+
+            results = await asyncio.gather(*[one_peer(i) for i in range(16)])
+            assert all(results)
+            # The tentpole claim: 16 chains, ONE pinhole connection.
+            assert inner.stats.nxport_connections == 1
+            assert inner.stats.passive_chains == 16
+            assert outer.stats.passive_chains == 16
+            echo_task.cancel()
+            await listener.close()
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_interleaved_frames_preserve_per_chain_ordering():
+    """Concurrent chains write patterned streams; each must arrive
+    intact and in order despite frame interleaving on the one link."""
+
+    async def main():
+        outer, inner, client = await start_deployment()
+        try:
+            listener = await client.bind()
+            echo_task = asyncio.ensure_future(echo_chain(listener))
+            host, port = listener.proxy_addr
+
+            async def one_peer(i):
+                r, w = await asyncio.open_connection(host, port)
+                # 64 writes of a per-chain pattern, trickled so the mux
+                # genuinely interleaves chains on the wire.
+                pattern = bytes(range(i, i + 16)) * 256  # 4 KB
+                received = bytearray()
+
+                async def reader_side():
+                    while len(received) < 64 * len(pattern):
+                        data = await r.read(65536)
+                        assert data, "stream ended early"
+                        received.extend(data)
+
+                rt = asyncio.ensure_future(reader_side())
+                for _ in range(64):
+                    w.write(pattern)
+                    await w.drain()
+                    await asyncio.sleep(0)
+                await rt
+                w.close()
+                assert bytes(received) == pattern * 64
+
+            await asyncio.gather(*[one_peer(i) for i in range(8)])
+            assert inner.stats.nxport_connections == 1
+            echo_task.cancel()
+            await listener.close()
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_chain_reset_leaves_siblings_alive():
+    """Aborting one peer's chain must not disturb the other chain on
+    the same mux link."""
+
+    async def main():
+        outer, inner, client = await start_deployment()
+        try:
+            listener = await client.bind()
+            echo_task = asyncio.ensure_future(echo_chain(listener))
+            host, port = listener.proxy_addr
+
+            # Chain A: long-lived echo conversation.
+            ra, wa = await asyncio.open_connection(host, port)
+            wa.write(b"before")
+            await wa.drain()
+            assert await ra.readexactly(6) == b"before"
+
+            # Chain B: connect, start talking, die abruptly (RST).
+            rb, wb = await asyncio.open_connection(host, port)
+            wb.write(b"doomed")
+            await wb.drain()
+            await rb.readexactly(6)
+            wb.transport.abort()
+            await asyncio.sleep(0.1)
+
+            # Chain A still works after B's teardown.
+            wa.write(b"after")
+            await wa.drain()
+            assert await ra.readexactly(5) == b"after"
+            wa.close()
+            assert inner.stats.nxport_connections == 1
+            echo_task.cancel()
+            await listener.close()
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_link_drop_reconnects_and_reestablishes_chains():
+    """Kill the nxport TCP link mid-flight: live chains die (as their
+    real TCP connections would), the connector re-dials with backoff,
+    and new chains establish over the fresh link."""
+
+    async def main():
+        outer, inner, client = await start_deployment()
+        try:
+            listener = await client.bind()
+            echo_task = asyncio.ensure_future(echo_chain(listener))
+            host, port = listener.proxy_addr
+
+            r1, w1 = await asyncio.open_connection(host, port)
+            w1.write(b"ping")
+            await w1.drain()
+            assert await r1.readexactly(4) == b"ping"
+            assert inner.stats.nxport_connections == 1
+
+            # Chaos: abort the mux link underneath the chain.
+            link = outer.mux_link("127.0.0.1", inner.nxport)
+            assert link.connects == 1
+            await link.drop_link()
+            # The dangling chain observes EOF/reset promptly.
+            assert await r1.read(4096) == b""
+            w1.close()
+
+            # A new chain heals through the reconnected link.
+            r2, w2 = await asyncio.open_connection(host, port)
+            w2.write(b"recovered")
+            await w2.drain()
+            assert await r2.readexactly(9) == b"recovered"
+            w2.close()
+            assert link.connects == 2
+            assert outer.stats.mux_reconnects == 1
+            assert inner.stats.nxport_connections == 2
+            echo_task.cancel()
+            await listener.close()
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_legacy_mode_opens_one_connection_per_chain():
+    """mux=False is the seed behaviour: the ablation baseline."""
+
+    async def main():
+        outer, inner, client = await start_deployment(mux=False)
+        try:
+            listener = await client.bind()
+            echo_task = asyncio.ensure_future(echo_chain(listener))
+            host, port = listener.proxy_addr
+            for i in range(3):
+                r, w = await asyncio.open_connection(host, port)
+                w.write(b"x")
+                await w.drain()
+                assert await r.readexactly(1) == b"x"
+                w.close()
+            await asyncio.sleep(0.05)
+            assert inner.stats.nxport_connections == 3
+            echo_task.cancel()
+            await listener.close()
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_open_to_dead_client_port_fails_chain_only():
+    """An OPEN toward a dead client listener yields OPEN_ERR for that
+    chain; the link survives and serves the next chain."""
+
+    async def main():
+        inner = await AioInnerServer().start()
+        stats_outer = AioOuterServer().stats  # standalone stats holder
+        link = MuxConnector("127.0.0.1", inner.nxport, stats_outer)
+        try:
+            with pytest.raises((ChainReset, ConnectionError)):
+                await link.open_chain("127.0.0.1", 1)  # nothing listens
+            assert inner.stats.failed_requests == 1
+
+            # Same link still opens good chains.
+            srv = await asyncio.start_server(
+                lambda r, w: w.close(), "127.0.0.1", 0
+            )
+            good_port = srv.sockets[0].getsockname()[1]
+            chain, session = await link.open_chain("127.0.0.1", good_port)
+            assert session.alive
+            chain.send_rst()
+            srv.close()
+            assert inner.stats.nxport_connections == 1
+        finally:
+            await link.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_stats_snapshot_and_histograms():
+    async def main():
+        outer, inner, client = await start_deployment()
+        try:
+            listener = await client.bind()
+            echo_task = asyncio.ensure_future(echo_chain(listener))
+            host, port = listener.proxy_addr
+            r, w = await asyncio.open_connection(host, port)
+            payload = b"z" * 100_000
+            w.write(payload)
+            await w.drain()
+            w.write_eof()
+            assert await r.read(-1) == payload
+            w.close()
+            await asyncio.sleep(0.05)
+            snap = outer.stats.snapshot()
+            assert snap["passive_chains"] == 1
+            assert snap["bytes_relayed"] >= 2 * len(payload)
+            assert snap["mux_frames"] > 0
+            assert sum(snap["chunk_bytes_hist"].values()) == snap["chunks_relayed"]
+            # Chain completed: its byte total and setup latency recorded.
+            assert sum(snap["chain_bytes_hist"].values()) == 1
+            assert sum(snap["chain_setup_us_hist"].values()) == 1
+            echo_task.cancel()
+            await listener.close()
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_histogram_bucketing():
+    h = Histogram()
+    for v in (0, 1, 2, 3, 4, 1023, 1024, 10**12):
+        h.record(v)
+    assert h.total == 8
+    d = h.to_dict()
+    assert d["<=0"] == 1          # value 0
+    assert d["<=1"] == 1          # value 1
+    assert d["<=3"] == 2          # values 2, 3
+    assert d["<=7"] == 1          # value 4
+    assert d["<=1023"] == 1       # value 1023
+    assert d["<=2047"] == 1       # value 1024
+    assert d[f"<={(1 << 31) - 1}"] == 1  # 10**12 clamps to the last bucket
+
+
+def test_frame_type_names_complete():
+    for value, name in FrameType.NAMES.items():
+        assert getattr(FrameType, name) == value
