@@ -34,13 +34,12 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
-import platform
 import socket
 import statistics
 import sys
 import time
-from pathlib import Path
 
+from repro.bench.results import bench_meta, write_results
 from repro.core.aio import AioInnerServer, AioOuterServer, AioProxyClient
 
 MB = 1024 * 1024
@@ -236,14 +235,12 @@ async def run_suite(quick: bool) -> dict:
     per_chain = MB // 2 if quick else 2 * MB
 
     results: dict = {
-        "meta": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "quick": quick,
-            "bulk_bytes": bulk,
-            "chains": chains,
-            "per_chain_bytes": per_chain,
-        }
+        "meta": bench_meta(
+            quick=quick,
+            bulk_bytes=bulk,
+            chains=chains,
+            per_chain_bytes=per_chain,
+        )
     }
 
     repeats = 2 if quick else 3
@@ -296,12 +293,9 @@ def main(argv=None) -> int:
         print(f"WARNING: adaptive single-chain speedup {speedup:.2f}x "
               "is below the 2x acceptance bar", file=sys.stderr)
 
-    if args.out != "-":
-        out = Path(args.out) if args.out else (
-            Path(__file__).resolve().parent.parent / "BENCH_relay.json"
-        )
-        out.write_text(json.dumps(results, indent=2) + "\n")
-        print(f"wrote {out}")
+    path = write_results(results, args.out, "BENCH_relay.json")
+    if path is not None:
+        print(f"wrote {path}")
     return 0
 
 

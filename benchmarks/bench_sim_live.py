@@ -1,0 +1,259 @@
+"""Live evaluation-engine benchmark: seed path vs fast path, serial vs
+parallel (``BENCH_sim.json``).
+
+The PR-2 counterpart of ``bench_relay_live.py``: where that file
+benchmarks the *real* relay data plane, this one benchmarks the
+*simulation* engine itself — the DES kernel fast path
+(``REPRO_SIM_KERNEL``), the packed-int branch kernel
+(``REPRO_SEARCH_ENGINE``) and the process-pool sweep executor
+(``--jobs``).  Four probes:
+
+* **raw branch throughput** — ``SearchState.run_to_exhaustion`` on the
+  Table 4 instance, no simulator involved: the branch kernel's
+  nodes/sec ceiling, seed vs fast engine.
+* **Table 4 suite** — the full sequential + five-system run, once with
+  both toggles on ``seed`` and once on ``fast``; per-row host wall
+  time, kernel events, nodes/sec and events/sec, plus the aggregate
+  nodes/sec ratio (the headline number).
+* **render identity** — Tables 4/5/6 rendered text must be
+  *byte-identical* between the seed path, the fast path, and the fast
+  path under ``jobs=2``: the fast engine buys wall time, never
+  different results.
+* **tuning sweep, serial vs parallel** — the same grid through
+  ``jobs=1`` and ``jobs=min(4, cores)``; the speedup scales with
+  physical cores (on a 1-core container the two are equivalent — the
+  point of recording ``cpu_count`` next to the ratio).
+
+Run standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_sim_live.py --quick --out -
+
+or in full to (re)generate ``BENCH_sim.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import os
+import sys
+import time
+
+from repro.bench.results import bench_meta, write_results
+
+ENGINE_VAR = "REPRO_SEARCH_ENGINE"
+KERNEL_VAR = "REPRO_SIM_KERNEL"
+
+
+@contextlib.contextmanager
+def engine_path(mode: str):
+    """Force both toggles — branch engine and DES kernel — to ``mode``."""
+    saved = {k: os.environ.get(k) for k in (ENGINE_VAR, KERNEL_VAR)}
+    os.environ[ENGINE_VAR] = mode
+    os.environ[KERNEL_VAR] = mode
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def raw_branch(config, repeats: int) -> dict:
+    """Branch-kernel nodes/sec with no simulator in the loop."""
+    from repro.apps.knapsack.search import SearchState
+
+    instance = config.instance()
+    out: dict = {}
+    for mode in ("seed", "fast"):
+        best = 0.0
+        nodes = 0
+        for _ in range(repeats):
+            state = SearchState(instance, engine=mode)
+            state.push_root()
+            t0 = time.perf_counter()
+            state.run_to_exhaustion()
+            elapsed = time.perf_counter() - t0
+            nodes = state.nodes_traversed
+            best = max(best, nodes / elapsed)
+        out[mode] = {"nodes": nodes, "nodes_per_s": round(best)}
+        print(f"raw branch [{mode:4s}]  : {best / 1e6:6.2f} M nodes/s  "
+              f"({nodes} nodes)")
+    out["speedup"] = round(out["fast"]["nodes_per_s"] / out["seed"]["nodes_per_s"], 2)
+    return out
+
+
+def _renders(results) -> str:
+    from repro.bench.table4 import render_table4
+    from repro.bench.table56 import render_table5, render_table6
+
+    return "\n".join(
+        [render_table4(results), render_table5(results), render_table6(results)]
+    )
+
+
+def table4_suite(config, jobs_check: int) -> "tuple[dict, dict]":
+    """Run the Table 4 suite on both paths; return (section, renders)."""
+    from repro.bench.table4 import run_table4
+
+    section: dict = {}
+    renders: dict = {}
+    for mode in ("seed", "fast"):
+        with engine_path(mode):
+            t0 = time.perf_counter()
+            results = run_table4(config)
+            wall = time.perf_counter() - t0
+        rows = {}
+        total_nodes = 0
+        for label, run in results.runs.items():
+            rows[label] = {
+                "sim_time_s": round(run.execution_time, 6),
+                "wall_s": round(run.wall_time, 3),
+                "nodes": run.total_nodes,
+                "events": run.events,
+                "nodes_per_s": round(run.total_nodes / run.wall_time),
+                "events_per_s": round(run.events / run.wall_time),
+            }
+            total_nodes += run.total_nodes
+        seq_nodes = results.runs[
+            "Wide-area Cluster (use Nexus Proxy)"
+        ].total_nodes  # every run traverses the same tree
+        total_nodes += seq_nodes
+        section[mode] = {
+            "wall_s": round(wall, 3),
+            "sequential_sim_time_s": round(results.sequential_time, 6),
+            "total_nodes": total_nodes,
+            "nodes_per_s": round(total_nodes / wall),
+            "rows": rows,
+        }
+        renders[mode] = _renders(results)
+        print(f"table4 [{mode:4s}]       : {wall:6.2f} s wall  "
+              f"({total_nodes / wall / 1e6:.2f} M nodes/s aggregate)")
+
+    # Parallel re-run on the fast path: must render byte-identically.
+    with engine_path("fast"):
+        t0 = time.perf_counter()
+        from repro.bench.table4 import run_table4 as _rt4
+
+        par = _rt4(config, jobs=jobs_check)
+        par_wall = time.perf_counter() - t0
+    renders["fast_parallel"] = _renders(par)
+    section["fast_parallel_wall_s"] = round(par_wall, 3)
+    section["jobs_check"] = jobs_check
+
+    section["speedup"] = {
+        "aggregate_nodes_per_s": round(
+            section["fast"]["nodes_per_s"] / section["seed"]["nodes_per_s"], 2
+        ),
+        "wall_ratio": round(
+            section["seed"]["wall_s"] / section["fast"]["wall_s"], 2
+        ),
+        "per_row_wall": {
+            label: round(
+                section["seed"]["rows"][label]["wall_s"]
+                / section["fast"]["rows"][label]["wall_s"],
+                2,
+            )
+            for label in section["seed"]["rows"]
+        },
+    }
+    print(f"table4 speedup      : {section['speedup']['wall_ratio']:.2f}x wall "
+          f"(fast vs seed path)")
+    return section, renders
+
+
+def render_identity(renders: dict) -> dict:
+    identical = (
+        renders["seed"] == renders["fast"] == renders["fast_parallel"]
+    )
+    print(f"render identity     : seed == fast == parallel: {identical}")
+    return {
+        "seed_vs_fast": renders["seed"] == renders["fast"],
+        "fast_vs_parallel": renders["fast"] == renders["fast_parallel"],
+        "identical": identical,
+    }
+
+
+def tuning_serial_vs_parallel(points: int, seed: int, jobs: int) -> dict:
+    from repro.apps.knapsack.instance import scaled_instance
+    from repro.apps.knapsack.master_slave import SchedulingParams
+    from repro.bench.tuning import default_grid, render_sweep, run_tuning_sweep
+
+    instance = scaled_instance(n=40, target_nodes=2_000_000, seed=seed)
+    grid = default_grid(SchedulingParams())[:points]
+    t0 = time.perf_counter()
+    serial = run_tuning_sweep(instance, grid=grid, jobs=1)
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_tuning_sweep(instance, grid=grid, jobs=jobs)
+    parallel_wall = time.perf_counter() - t0
+    identical = render_sweep(serial) == render_sweep(parallel)
+    print(f"tuning sweep        : serial {serial_wall:6.2f} s   "
+          f"jobs={jobs} {parallel_wall:6.2f} s   "
+          f"({serial_wall / parallel_wall:.2f}x, ranking identical: {identical})")
+    return {
+        "points": len(grid),
+        "jobs": jobs,
+        "serial_wall_s": round(serial_wall, 3),
+        "parallel_wall_s": round(parallel_wall, 3),
+        "speedup": round(serial_wall / parallel_wall, 2),
+        "ranking_identical": identical,
+    }
+
+
+def run_suite(quick: bool, seed: int) -> dict:
+    from repro.bench.table4 import Table4Config
+
+    target = 2_000_000 if quick else 20_000_000
+    config = Table4Config(target_nodes=target, seed=seed)
+    jobs = min(4, os.cpu_count() or 1)
+    sweep_jobs = max(2, jobs)
+
+    results: dict = {
+        "meta": bench_meta(
+            quick=quick,
+            target_nodes=target,
+            n_items=config.n_items,
+            seed=seed,
+        )
+    }
+    results["raw_branch"] = raw_branch(config, repeats=2 if quick else 3)
+    table4, renders = table4_suite(config, jobs_check=2)
+    results["table4"] = table4
+    results["render_identity"] = render_identity(renders)
+    results["tuning_sweep"] = tuning_serial_vs_parallel(
+        points=4 if quick else 9, seed=seed, jobs=sweep_jobs
+    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="2M-node trees (CI smoke run)")
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--out", default=None,
+                        help="write results JSON here "
+                        "(default: BENCH_sim.json in the repo root; "
+                        "'-' to skip)")
+    args = parser.parse_args(argv)
+    results = run_suite(args.quick, args.seed)
+
+    failures = []
+    if not results["render_identity"]["identical"]:
+        failures.append("rendered tables differ between engine paths")
+    if not results["tuning_sweep"]["ranking_identical"]:
+        failures.append("tuning ranking differs between serial and parallel")
+    for failure in failures:
+        print(f"FAILURE: {failure}", file=sys.stderr)
+
+    path = write_results(results, args.out, "BENCH_sim.json")
+    if path is not None:
+        print(f"wrote {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ Produces exactly the quantities the paper's evaluation reports:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -79,6 +80,11 @@ class RunResult:
     #: Search phase only (root push to termination broadcast done).
     rank_stats: tuple[RankStats, ...]
     best_value: int
+    #: Kernel events scheduled while this run drove the simulator
+    #: (BENCH_sim.json's events/sec denominator).
+    events: int = 0
+    #: Host-process seconds spent driving the run (not simulated time).
+    wall_time: float = 0.0
 
     @property
     def total_nodes(self) -> int:
@@ -138,6 +144,8 @@ def run_system(
     world = build_world(testbed, system_name, use_proxy=use_proxy)
     sim = testbed.sim
     t0 = sim.now
+    events0 = sim.events_scheduled
+    wall0 = time.perf_counter()
 
     def driver() -> Iterator[Event]:
         return (yield from world.launch(knapsack_rank_main, instance, params))
@@ -153,6 +161,8 @@ def run_system(
         execution_time=sim.now - t0,
         rank_stats=tuple(results),
         best_value=results[MASTER_RANK].global_best,
+        events=sim.events_scheduled - events0,
+        wall_time=time.perf_counter() - wall0,
     )
 
 
@@ -171,6 +181,7 @@ def run_sequential_baseline(
         run_sequential_sim(
             testbed.rwcp_sun, instance,
             node_cost=params.node_cost, prune=params.prune,
+            engine=params.engine,
         ),
         name="knapsack:sequential",
     )

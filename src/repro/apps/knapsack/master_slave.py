@@ -104,6 +104,14 @@ class SchedulingParams:
     #: just its own.  An extension beyond the paper (its runs pruned
     #: nothing); ablated in ``tests/knapsack/test_shared_bounds.py``.
     share_bounds: bool = False
+    #: Search-engine implementation: ``"fast"`` (vc-encoded chunked
+    #: kernel + fused slave batches), ``"seed"`` (the original
+    #: tuple-stack loop with one simulator yield per batch), or
+    #: ``"auto"`` (defer to ``REPRO_SEARCH_ENGINE``, default fast).
+    #: Purely an implementation knob: simulated results are identical
+    #: (the determinism suite compares them); only host-CPU time
+    #: differs.
+    engine: Literal["auto", "fast", "seed"] = "auto"
 
     def __post_init__(self) -> None:
         if self.interval < 1:
@@ -125,6 +133,8 @@ class SchedulingParams:
                 raise ValueError("back_threshold must exceed backunit (or be 0)")
         if self.share_bounds and not self.prune:
             raise ValueError("share_bounds requires prune=True")
+        if self.engine not in ("auto", "fast", "seed"):
+            raise ValueError(f"engine must be 'auto', 'fast' or 'seed'")
 
     def resolve_back_threshold(self, n_items: int) -> int:
         """The effective "too many" depth (0 disables send-back).
@@ -193,7 +203,7 @@ def _master(
     comm: Communicator, instance: KnapsackInstance, p: SchedulingParams
 ) -> Iterator[Event]:
     host = comm.host
-    state = SearchState(instance, prune=p.prune)
+    state = SearchState(instance, prune=p.prune, engine=p.engine)
     state.push_root()
     stats = RankStats(comm.rank, host.name, is_master=True)
     nslaves = comm.size - 1
@@ -275,10 +285,18 @@ def _slave(
     comm: Communicator, instance: KnapsackInstance, p: SchedulingParams
 ) -> Iterator[Event]:
     host = comm.host
-    state = SearchState(instance, prune=p.prune)
+    state = SearchState(instance, prune=p.prune, engine=p.engine)
     stats = RankStats(comm.rank, host.name, is_master=False)
     back_threshold = p.resolve_back_threshold(instance.n)
     batches_since_back = 0
+    # A slave's only observable interactions between communication
+    # points are its compute charges, so with the fast engine its
+    # batches are *fused*: branch_fused runs whole batches in one
+    # Python frame until exhaustion or a due send-back, and the
+    # accumulated cost is charged in a single compute yield.  The
+    # master cannot be fused the same way — its per-batch iprobe drain
+    # is what bounds steal-request latency.
+    fused = state.engine == "fast"
 
     while True:
         if state.exhausted:
@@ -300,10 +318,18 @@ def _slave(
             state.push_nodes(nodes)
             batches_since_back = 0
             continue
-        ops = state.branch(p.interval)
-        if p.node_cost:
-            yield host.compute(ops * p.node_cost)
-        batches_since_back += 1
+        if fused:
+            cost, batches_since_back = state.branch_fused(
+                p.interval, p.node_cost, batches_since_back,
+                p.back_every, back_threshold,
+            )
+            if p.node_cost:
+                yield host.compute(cost)
+        else:
+            ops = state.branch(p.interval)
+            if p.node_cost:
+                yield host.compute(ops * p.node_cost)
+            batches_since_back += 1
         if (
             back_threshold
             and batches_since_back >= p.back_every

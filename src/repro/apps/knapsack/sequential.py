@@ -42,9 +42,11 @@ class SequentialResult:
     sim_time: float = 0.0
 
 
-def solve(instance: KnapsackInstance, prune: bool = False) -> SequentialResult:
+def solve(
+    instance: KnapsackInstance, prune: bool = False, engine: "str | None" = None
+) -> SequentialResult:
     """Solve in the host process (real CPU, zero simulated time)."""
-    state = SearchState(instance, prune=prune)
+    state = SearchState(instance, prune=prune, engine=engine)
     state.push_root()
     state.run_to_exhaustion()
     return SequentialResult(state.best_value, state.nodes_traversed)
@@ -56,6 +58,7 @@ def run_sequential_sim(
     node_cost: float = DEFAULT_NODE_COST,
     prune: bool = False,
     batch: int = 4096,
+    engine: "str | None" = None,
 ) -> Iterator[Event]:
     """Generator: the sequential solver as a simulated process.
 
@@ -64,7 +67,7 @@ def run_sequential_sim(
     simulated duration is ``nodes * node_cost / cpu_speed``, the
     Table 4 baseline definition.
     """
-    state = SearchState(instance, prune=prune)
+    state = SearchState(instance, prune=prune, engine=engine)
     state.push_root()
     start = host.sim.now
     while not state.exhausted:

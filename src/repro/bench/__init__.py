@@ -7,6 +7,8 @@ paper-style text table.  The pytest-benchmark targets in
 """
 
 from repro.bench.calibrate import table2_chain_models
+from repro.bench.results import bench_meta, write_results
+from repro.bench.sweep import fan_out, resolve_jobs
 from repro.bench.table2 import Table2Row, render_table2, run_table2
 from repro.bench.table4 import Table4Config, Table4Results, render_table4, run_table4
 from repro.bench.table56 import render_table5, render_table6
@@ -17,13 +19,17 @@ __all__ = [
     "Table2Row",
     "Table4Config",
     "Table4Results",
+    "bench_meta",
+    "fan_out",
     "render_sweep",
     "render_table2",
     "render_table4",
     "render_table5",
     "render_table6",
+    "resolve_jobs",
     "run_table2",
     "run_table4",
     "run_tuning_sweep",
     "table2_chain_models",
+    "write_results",
 ]

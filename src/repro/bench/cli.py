@@ -5,8 +5,9 @@
     repro-bench table2
     repro-bench table4 --target-nodes 2000000   # quicker, noisier
     repro-bench table5 table6
-    repro-bench tuning --points 9
-    repro-bench all
+    repro-bench tuning --points 9 --jobs 4      # grid points in parallel
+    repro-bench table4 --profile                # cProfile the run
+    repro-bench all --jobs 0                    # all tables, all cores
 """
 
 from __future__ import annotations
@@ -45,10 +46,30 @@ def main(argv: "list[str] | None" = None) -> int:
         "--points", type=int, default=27,
         help="tuning-sweep grid points to evaluate (max 27)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the table4/5/6 rows and the tuning "
+        "grid (0 = all cores; default 1 = serial; results are "
+        "identical either way)",
+    )
+    parser.add_argument(
+        "--profile", nargs="?", const="bench_profile.pstats", default=None,
+        metavar="PATH",
+        help="cProfile the table runs; writes pstats to PATH (default "
+        "bench_profile.pstats) and prints the hottest functions. "
+        "Profiles the driving process only — combine with the default "
+        "--jobs 1 to capture the simulation itself",
+    )
     args = parser.parse_args(argv)
     targets = set(args.targets)
     if "all" in targets:
         targets = set(TARGETS) - {"all"}
+
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
 
     t_start = time.time()
     if "table2" in targets:
@@ -65,7 +86,14 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.bench.table4 import Table4Config, render_table4, run_table4
 
         config = Table4Config(target_nodes=args.target_nodes, seed=args.seed)
-        table4_results = run_table4(config)
+        if profiler is not None:
+            profiler.enable()
+            try:
+                table4_results = run_table4(config, jobs=args.jobs)
+            finally:
+                profiler.disable()
+        else:
+            table4_results = run_table4(config, jobs=args.jobs)
     if "table4" in targets:
         from repro.bench.table4 import render_table4
 
@@ -88,8 +116,24 @@ def main(argv: "list[str] | None" = None) -> int:
 
         instance = scaled_instance(n=40, target_nodes=2_000_000, seed=args.seed)
         grid = default_grid(SchedulingParams())[: args.points]
-        print(render_sweep(run_tuning_sweep(instance, grid=grid)))
+        if profiler is not None:
+            profiler.enable()
+            try:
+                points = run_tuning_sweep(instance, grid=grid, jobs=args.jobs)
+            finally:
+                profiler.disable()
+        else:
+            points = run_tuning_sweep(instance, grid=grid, jobs=args.jobs)
+        print(render_sweep(points))
         print()
+
+    if profiler is not None:
+        import pstats
+
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+        print(f"[repro-bench] profile written to {args.profile}", file=sys.stderr)
 
     print(f"[repro-bench] done in {time.time() - t_start:.1f}s wall", file=sys.stderr)
     return 0

@@ -1,0 +1,77 @@
+"""Shared result-file plumbing for the live benchmarks.
+
+Every ``benchmarks/bench_*_live.py`` harness stamps its JSON with the
+same provenance block (:func:`bench_meta`) and writes it through
+:func:`write_results`, so ``BENCH_relay.json`` and ``BENCH_sim.json``
+stay comparable across machines and commits: a perf claim without the
+interpreter version, platform, core count and git revision attached is
+not reproducible evidence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["bench_meta", "git_revision", "repo_root", "write_results"]
+
+
+def repo_root() -> Path:
+    """The repository root (parent of ``src/``)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def git_revision() -> Optional[str]:
+    """Short commit hash of the working tree, or ``None`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def bench_meta(**extra: Any) -> dict:
+    """The provenance block every benchmark JSON starts with.
+
+    Keyword arguments are appended verbatim (workload sizes, mode
+    flags, ...) after the common fields.
+    """
+    meta: dict[str, Any] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": git_revision(),
+    }
+    meta.update(extra)
+    return meta
+
+
+def write_results(
+    results: dict,
+    out: Optional[str],
+    default_name: str,
+) -> Optional[Path]:
+    """Write ``results`` as indented JSON.
+
+    ``out`` is the CLI argument: a path, ``None`` (use ``default_name``
+    in the repo root), or ``"-"`` (skip writing, return ``None`` — the
+    CI smoke mode).
+    """
+    if out == "-":
+        return None
+    path = Path(out) if out else repo_root() / default_name
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path

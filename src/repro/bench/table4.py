@@ -18,14 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.apps.knapsack.driver import (
-    RunResult,
-    run_sequential_baseline,
-    run_system,
-)
+from repro.apps.knapsack.driver import RunResult
 from repro.apps.knapsack.instance import KnapsackInstance, scaled_instance
 from repro.apps.knapsack.master_slave import SchedulingParams
-from repro.cluster.testbed import Testbed
 from repro.util.tables import Table
 
 __all__ = ["Table4Config", "Table4Results", "run_table4", "render_table4"]
@@ -87,17 +82,28 @@ _ROW_SPECS: list[tuple[str, str, Optional[bool]]] = [
 ]
 
 
-def run_table4(config: Optional[Table4Config] = None) -> Table4Results:
-    """Run the baseline plus all five parallel configurations."""
+def run_table4(
+    config: Optional[Table4Config] = None, jobs: Optional[int] = 1
+) -> Table4Results:
+    """Run the baseline plus all five parallel configurations.
+
+    ``jobs > 1`` fans the six independent simulations over worker
+    processes (see :mod:`repro.bench.sweep`); every run is
+    deterministic and self-contained, so the results — and the
+    rendered tables — are identical to the serial path.
+    """
     if config is None:
         config = Table4Config()
-    instance = config.instance()
-    sequential = run_sequential_baseline(Testbed(), instance, config.params)
-    runs: dict[str, RunResult] = {}
-    for label, system_name, use_proxy in _ROW_SPECS:
-        runs[label] = run_system(
-            Testbed(), system_name, instance, config.params, use_proxy=use_proxy
-        )
+    from repro.bench.sweep import Table4Task, fan_out, run_table4_task
+
+    tasks = [Table4Task(config, "sequential", None, None)]
+    tasks += [
+        Table4Task(config, label, system_name, use_proxy)
+        for label, system_name, use_proxy in _ROW_SPECS
+    ]
+    outcomes = dict(fan_out(run_table4_task, tasks, jobs))
+    sequential: float = outcomes.pop("sequential")
+    runs: dict[str, RunResult] = {label: outcomes[label] for label, _, _ in _ROW_SPECS}
     return Table4Results(config, sequential, runs)
 
 

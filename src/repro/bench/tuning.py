@@ -15,10 +15,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from repro.apps.knapsack.driver import run_system
 from repro.apps.knapsack.instance import KnapsackInstance
 from repro.apps.knapsack.master_slave import SchedulingParams
-from repro.cluster.testbed import Testbed
 from repro.util.tables import Table
 
 __all__ = ["SweepPoint", "run_tuning_sweep", "render_sweep", "default_grid"]
@@ -63,23 +61,23 @@ def run_tuning_sweep(
     system_name: str = "Wide-area Cluster",
     grid: Optional[Sequence[SchedulingParams]] = None,
     base: Optional[SchedulingParams] = None,
+    jobs: Optional[int] = 1,
 ) -> list[SweepPoint]:
-    """Evaluate the grid; returns points sorted best-first."""
+    """Evaluate the grid; returns points sorted best-first.
+
+    ``jobs > 1`` evaluates grid points in worker processes (each point
+    is an independent deterministic simulation); the sort is stable
+    over the deterministic grid order, so the ranking is identical to
+    the serial path.
+    """
     if base is None:
         base = SchedulingParams()
     if grid is None:
         grid = default_grid(base)
-    points: list[SweepPoint] = []
-    for params in grid:
-        run = run_system(Testbed(), system_name, instance, params)
-        points.append(
-            SweepPoint(
-                params=params,
-                execution_time=run.execution_time,
-                total_steals=run.total_steals,
-                back_transfers=sum(s.back_transfers for s in run.rank_stats),
-            )
-        )
+    from repro.bench.sweep import TuningTask, fan_out, run_tuning_task
+
+    tasks = [TuningTask(instance, system_name, params) for params in grid]
+    points = fan_out(run_tuning_task, tasks, jobs)
     points.sort(key=lambda p: p.execution_time)
     return points
 

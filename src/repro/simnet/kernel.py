@@ -16,11 +16,39 @@ Design rules (they matter for everything layered on top):
   silent death of a simulated daemon would otherwise turn into a hang.
 * **No global state.**  All state hangs off the :class:`Simulator`
   instance; independent simulations never interact.
+
+Fast path
+---------
+
+Every experiment in this repo funnels through this loop (a Table 4 run
+processes hundreds of thousands of events), so the hot path is tuned
+while keeping the three rules above bit-identical:
+
+* **Single-waiter slot.**  The dominant case — exactly one process
+  waiting on an event — stores the callback in ``_cb1`` instead of
+  allocating a one-element list per event.  The public
+  :attr:`Event.callbacks` list materializes lazily on first access, so
+  external code that appends to / removes from / ``is None``-tests the
+  list keeps working unchanged.  Dispatch order is FIFO either way.
+* **Timeout free-list.**  Processed :class:`Timeout` objects that
+  nothing else references (checked with ``sys.getrefcount`` — a
+  caller that kept the timeout keeps its object) are recycled by
+  :meth:`Simulator.timeout` instead of re-allocated.
+* **Inlined drain loop.**  :meth:`Simulator.run` with no deadline and
+  no stop event runs a tight loop with the heap, pool and dispatch
+  locals cached instead of calling :meth:`step` per event.
+
+``Simulator(mode="seed")`` (or ``REPRO_SIM_KERNEL=seed``) disables the
+free-list and the callback slot — every registration allocates the
+list, like the original kernel — so the determinism suite can compare
+traces between the seed slow path and the fast path.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -39,6 +67,9 @@ __all__ = [
 ProcGen = Generator["Event", Any, Any]
 
 _PENDING = object()
+
+#: Recycled Timeouts kept per simulator (bounds worst-case retention).
+_MAX_POOL = 1024
 
 
 class SimError(RuntimeError):
@@ -65,15 +96,61 @@ class Event:
     Processes wait on events by yielding them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("sim", "_cb1", "_cbs", "_processed", "_value", "_ok", "_defused")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        #: Callbacks run when the event is processed; ``None`` after.
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        #: Single-waiter slot; promoted to ``_cbs`` on a second waiter.
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[list[Callable[["Event"], None]]] = None
+        self._processed = False
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._defused = False
+
+    @property
+    def callbacks(self) -> Optional[list[Callable[["Event"], None]]]:
+        """Callbacks run when the event is processed; ``None`` after.
+
+        Accessing this materializes the callback list (moving a
+        slot-stored single waiter into it), so mutate freely.
+        """
+        if self._processed:
+            return None
+        cbs = self._cbs
+        if cbs is None:
+            cb1 = self._cb1
+            cbs = [] if cb1 is None else [cb1]
+            self._cb1 = None
+            self._cbs = cbs
+        return cbs
+
+    def _add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Internal fast registration (semantics of ``callbacks.append``)."""
+        if self.sim._fast:
+            if self._cbs is not None:
+                self._cbs.append(cb)
+            elif self._cb1 is None:
+                self._cb1 = cb
+            else:
+                self._cbs = [self._cb1, cb]
+                self._cb1 = None
+        else:
+            cbs = self.callbacks
+            assert cbs is not None
+            cbs.append(cb)
+
+    def _discard_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Internal removal (no-op when absent or already processed)."""
+        if self._cb1 is cb:
+            self._cb1 = None
+            return
+        cbs = self._cbs
+        if cbs is not None:
+            try:
+                cbs.remove(cb)
+            except ValueError:  # pragma: no cover - defensive
+                pass
 
     @property
     def triggered(self) -> bool:
@@ -81,25 +158,25 @@ class Event:
 
     @property
     def processed(self) -> bool:
-        return self.callbacks is None
+        return self._processed
 
     @property
     def ok(self) -> bool:
         """True iff the event succeeded.  Only valid once triggered."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimError("event not yet triggered")
         return bool(self._ok)
 
     @property
     def value(self) -> Any:
         """The success value or failure exception."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimError("event not yet triggered")
         return self._value
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, delivering ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -110,7 +187,7 @@ class Event:
         """Trigger the event with an exception."""
         if not isinstance(exc, BaseException):
             raise SimError(f"fail() needs an exception, got {exc!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimError(f"{self!r} already triggered")
         self._ok = False
         self._value = exc
@@ -138,10 +215,15 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimError(f"negative timeout: {delay!r}")
-        super().__init__(sim)
+        self.sim = sim
+        self._cb1 = None
+        self._cbs = None
+        self._processed = False
+        self._defused = False
         self._ok = True
         self._value = value
-        sim._post(self, delay)
+        heapq.heappush(sim._heap, (sim.now + delay, sim._eid, self))
+        sim._eid += 1
 
 
 class _Initialize(Event):
@@ -153,7 +235,7 @@ class _Initialize(Event):
         super().__init__(sim)
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self._add_callback(process._resume_fn)
         sim._post(self)
 
 
@@ -164,13 +246,19 @@ class Process(Event):
     that raises fails with that exception.
     """
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_send", "_throw", "_resume_fn", "_target", "name")
 
     def __init__(self, sim: "Simulator", gen: ProcGen, name: str = "") -> None:
         if not hasattr(gen, "send"):
             raise SimError(f"process body must be a generator, got {gen!r}")
         super().__init__(sim)
         self._gen = gen
+        self._send = gen.send
+        self._throw = gen.throw
+        #: One bound method reused for every wait: registration and
+        #: removal (interrupt) then work by identity, and each yield
+        #: skips a bound-method allocation.
+        self._resume_fn = self._resume
         self._target: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
         _Initialize(sim, self)
@@ -193,33 +281,33 @@ class Process(Event):
         kick._ok = False
         kick._value = Interrupt(cause)
         kick._defused = True
-        kick.callbacks.append(self._resume_interrupt)
+        kick._add_callback(self._resume_interrupt)
         self.sim._post(kick)
 
     def _resume_interrupt(self, event: Event) -> None:
         if self.triggered:
             return  # finished in the meantime; interrupt evaporates
         target = self._target
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+        if target is not None and not target._processed:
+            target._discard_callback(self._resume_fn)
         self._target = None
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
         sim = self.sim
+        fast = sim._fast
         self._target = None
         sim._active = self
-        gen = self._gen
+        send = self._send
+        throw = self._throw
+        resume = self._resume_fn
         while True:
             try:
                 if event._ok:
-                    next_ev = gen.send(event._value)
+                    next_ev = send(event._value)
                 else:
                     event._defused = True
-                    next_ev = gen.throw(event._value)
+                    next_ev = throw(event._value)
             except StopIteration as stop:
                 sim._active = None
                 self.succeed(stop.value)
@@ -241,9 +329,18 @@ class Process(Event):
                 sim._active = None
                 self.fail(SimError("yielded an event from a different simulator"))
                 return
-            if next_ev.callbacks is not None:
+            if not next_ev._processed:
                 # Pending or triggered-but-unprocessed: wait for it.
-                next_ev.callbacks.append(self._resume)
+                if fast:
+                    if next_ev._cbs is not None:
+                        next_ev._cbs.append(resume)
+                    elif next_ev._cb1 is None:
+                        next_ev._cb1 = resume
+                    else:
+                        next_ev._cbs = [next_ev._cb1, resume]
+                        next_ev._cb1 = None
+                else:
+                    next_ev._add_callback(resume)
                 self._target = next_ev
                 sim._active = None
                 return
@@ -269,12 +366,12 @@ class _Condition(Event):
             self.succeed({})
             return
         for ev in self._events:
-            if ev.callbacks is None:
+            if ev._processed:
                 self._check(ev)
                 if self.triggered:
                     break
             else:
-                ev.callbacks.append(self._check)
+                ev._add_callback(self._check)
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -315,13 +412,32 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a clock plus a time-ordered heap of events."""
+    """The event loop: a clock plus a time-ordered heap of events.
 
-    def __init__(self) -> None:
+    ``mode`` selects the implementation path: ``"fast"`` (default)
+    enables the Timeout free-list and the single-waiter callback slot;
+    ``"seed"`` reproduces the original kernel's allocation behaviour.
+    Both produce bit-identical traces (guarded by the trace-hash test
+    in ``tests/simnet/test_kernel_fastpath.py``).  The default can be
+    overridden with ``REPRO_SIM_KERNEL=seed|fast``.
+    """
+
+    def __init__(self, mode: Optional[str] = None) -> None:
+        if mode is None:
+            mode = os.environ.get("REPRO_SIM_KERNEL", "fast")
+        if mode not in ("fast", "seed"):
+            raise SimError(f"unknown kernel mode {mode!r} (want 'fast' or 'seed')")
+        self.mode = mode
+        self._fast = mode == "fast"
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active: Optional[Process] = None
+        self._pool: list[Timeout] = []
+        #: Optional per-event hook ``hook(time, event)`` called as each
+        #: event is processed (before its callbacks run).  Used by the
+        #: determinism suite to hash traces; ``None`` costs one branch.
+        self.on_event: Optional[Callable[[float, Event], None]] = None
 
     # -- scheduling ----------------------------------------------------
 
@@ -337,6 +453,17 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` seconds from now."""
+        pool = self._pool
+        if pool:
+            if delay < 0:
+                raise SimError(f"negative timeout: {delay!r}")
+            ev = pool.pop()
+            ev._processed = False
+            ev._defused = False
+            ev._value = value
+            heapq.heappush(self._heap, (self.now + delay, self._eid, ev))
+            self._eid += 1
+            return ev
         return Timeout(self, delay, value)
 
     def process(self, gen: ProcGen, name: str = "") -> Process:
@@ -363,13 +490,28 @@ class Simulator:
         if t < self.now:  # pragma: no cover - heap invariant
             raise SimError("time went backwards")
         self.now = t
-        callbacks, ev.callbacks = ev.callbacks, None
-        assert callbacks is not None
-        for cb in callbacks:
+        if self.on_event is not None:
+            self.on_event(t, ev)
+        ev._processed = True
+        cb = ev._cb1
+        if cb is not None:
+            ev._cb1 = None
             cb(ev)
+        else:
+            cbs = ev._cbs
+            if cbs is not None:
+                ev._cbs = None
+                for cb in cbs:
+                    cb(ev)
         if not ev._ok and not ev._defused:
-            exc = ev._value
-            raise exc
+            raise ev._value
+        if (
+            self._fast
+            and ev.__class__ is Timeout
+            and len(self._pool) < _MAX_POOL
+            and getrefcount(ev) == 2
+        ):
+            self._pool.append(ev)
 
     def run(
         self, until: "float | Event | None" = None
@@ -385,25 +527,72 @@ class Simulator:
         stopped = False
         if isinstance(until, Event):
             stop_event = until
-            if stop_event.processed:
+            if stop_event._processed:
                 stopped = True
             else:
                 def _stop(_: Event) -> None:
                     nonlocal stopped
                     stopped = True
 
-                assert stop_event.callbacks is not None
-                stop_event.callbacks.append(_stop)
+                stop_event._add_callback(_stop)
                 stop_event._defused = True
         elif until is not None:
             deadline = float(until)
             if deadline < self.now:
                 raise SimError(f"until={deadline} is in the past (now={self.now})")
 
-        while self._heap and not stopped:
-            if deadline is not None and self.peek() > deadline:
+        heap = self._heap
+        pool = self._pool
+        heappop = heapq.heappop
+        pooling = self._fast
+        if stop_event is None and deadline is None:
+            # Drain loop: the hot path for whole-job runs.
+            while heap:
+                t, _, ev = heappop(heap)
+                self.now = t
+                if self.on_event is not None:
+                    self.on_event(t, ev)
+                ev._processed = True
+                cb = ev._cb1
+                if cb is not None:
+                    ev._cb1 = None
+                    cb(ev)
+                else:
+                    cbs = ev._cbs
+                    if cbs is not None:
+                        ev._cbs = None
+                        for cb in cbs:
+                            cb(ev)
+                if not ev._ok and not ev._defused:
+                    raise ev._value
+                if pooling and ev.__class__ is Timeout and len(pool) < _MAX_POOL \
+                        and getrefcount(ev) == 2:
+                    pool.append(ev)
+            return None
+
+        while heap and not stopped:
+            if deadline is not None and heap[0][0] > deadline:
                 break
-            self.step()
+            t, _, ev = heappop(heap)
+            self.now = t
+            if self.on_event is not None:
+                self.on_event(t, ev)
+            ev._processed = True
+            cb = ev._cb1
+            if cb is not None:
+                ev._cb1 = None
+                cb(ev)
+            else:
+                cbs = ev._cbs
+                if cbs is not None:
+                    ev._cbs = None
+                    for cb in cbs:
+                        cb(ev)
+            if not ev._ok and not ev._defused:
+                raise ev._value
+            if pooling and ev.__class__ is Timeout and len(pool) < _MAX_POOL \
+                    and getrefcount(ev) == 2:
+                pool.append(ev)
 
         if deadline is not None:
             self.now = max(self.now, deadline)
@@ -424,6 +613,12 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events posted to the heap so far (the events/sec
+        numerator in ``BENCH_sim.json``)."""
+        return self._eid
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self.now:.6f} queued={len(self._heap)}>"

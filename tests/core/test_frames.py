@@ -168,6 +168,7 @@ def test_invalid_message_size_rejected():
         fc.send("x", nbytes=0)
 
 
+@pytest.mark.slow
 @settings(max_examples=25, deadline=None)
 @given(
     nbytes=st.integers(min_value=1, max_value=50_000),
