@@ -11,9 +11,12 @@ Produces exactly the quantities the paper's evaluation reports:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
+
+from repro.obs import spans as _obs
 
 from repro.apps.knapsack.instance import KnapsackInstance
 from repro.apps.knapsack.master_slave import (
@@ -66,6 +69,10 @@ class GroupStats:
     group: str
     steals: Summary
     nodes: Summary
+
+    def snapshot(self) -> "dict[str, object]":
+        """Plain-data view for the metrics registry."""
+        return dataclasses.asdict(self)
 
 
 @dataclass(frozen=True)
@@ -146,6 +153,9 @@ def run_system(
     t0 = sim.now
     events0 = sim.events_scheduled
     wall0 = time.perf_counter()
+    rec = _obs.RECORDER
+    if rec is not None:
+        rec.start_kernel_sampler(sim)
 
     def driver() -> Iterator[Event]:
         return (yield from world.launch(knapsack_rank_main, instance, params))
@@ -154,6 +164,12 @@ def run_system(
     results: list[RankStats] = sim.run(until=proc)
     spec = table3_system(system_name)
     resolved_proxy = spec.globus_device if use_proxy is None else use_proxy
+    if rec is not None:
+        rec.sim_span("run", system_name, t0, sim.now, track="driver",
+                     nprocs=world.size, use_proxy=resolved_proxy,
+                     events=sim.events_scheduled - events0)
+        for s in results:
+            rec.adopt(f"knapsack.{system_name}.rank{s.rank}", s)
     return RunResult(
         system=system_name,
         use_proxy=resolved_proxy,

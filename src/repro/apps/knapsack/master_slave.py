@@ -36,8 +36,11 @@ slave's stack is empty by construction, so this is sound.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterator, Literal, Optional
+
+from repro.obs import spans as _obs
 
 from repro.apps.knapsack.instance import KnapsackInstance
 from repro.apps.knapsack.search import Node, SearchState
@@ -169,6 +172,13 @@ class RankStats:
     #: Global optimum as agreed by the final reduction.
     global_best: int = 0
     finished_at: float = 0.0
+    #: Simulated seconds this rank spent waiting for work (a slave's
+    #: steal-request → work-arrival gaps summed; 0 for the master).
+    idle_time: float = 0.0
+
+    def snapshot(self) -> "dict[str, object]":
+        """Plain-data view for the metrics registry."""
+        return dataclasses.asdict(self)
 
 
 def _work_bytes(nodes: "list[Node]") -> int:
@@ -222,6 +232,11 @@ def _master(
         nodes = take(count)
         stats.steal_requests += 1
         stats.nodes_sent += len(nodes)
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_instant("steal", "serve", comm.sim.now,
+                            track=f"rank:{comm.rank}",
+                            slave=slave, nodes=len(nodes))
         work = (nodes, state.best_value) if p.share_bounds else nodes
         yield from comm.send(work, dest=slave, tag=TAG_WORK,
                              nbytes=_work_bytes(nodes))
@@ -301,11 +316,18 @@ def _slave(
     while True:
         if state.exhausted:
             # "If the stack is empty, the slave sends a steal request."
+            t_idle = comm.sim.now
             req = state.best_value if p.share_bounds else None
             yield from comm.send(req, dest=MASTER_RANK, tag=TAG_STEAL_REQ,
                                  nbytes=CTRL_BYTES)
             stats.steal_requests += 1
             payload, _ = yield from comm.recv(source=MASTER_RANK, tag=TAG_WORK)
+            stats.idle_time += comm.sim.now - t_idle
+            rec = _obs.RECORDER
+            if rec is not None:
+                rec.sim_span("steal", "idle_wait", t_idle, comm.sim.now,
+                             track=f"rank:{comm.rank}",
+                             terminated=payload is None)
             if payload is None:
                 break  # terminated
             if p.share_bounds:
@@ -344,6 +366,10 @@ def _slave(
             )
             stats.back_transfers += 1
             stats.nodes_sent += len(nodes)
+            rec = _obs.RECORDER
+            if rec is not None:
+                rec.sim_instant("steal", "back_transfer", comm.sim.now,
+                                track=f"rank:{comm.rank}", nodes=len(nodes))
             back = (nodes, state.best_value) if p.share_bounds else nodes
             yield from comm.send(back, dest=MASTER_RANK, tag=TAG_BACK,
                                  nbytes=_work_bytes(nodes))

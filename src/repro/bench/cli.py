@@ -7,6 +7,7 @@
     repro-bench table5 table6
     repro-bench tuning --points 9 --jobs 4      # grid points in parallel
     repro-bench table4 --profile                # cProfile the run
+    repro-bench table4 --trace                  # Chrome trace + summary
     repro-bench all --jobs 0                    # all tables, all cores
 """
 
@@ -60,16 +61,43 @@ def main(argv: "list[str] | None" = None) -> int:
         "Profiles the driving process only — combine with the default "
         "--jobs 1 to capture the simulation itself",
     )
+    parser.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="BASE",
+        help="record an observability trace of the runs; writes "
+        "BASE.trace.json (Chrome trace_event JSON, loadable in "
+        "Perfetto) and BASE.summary.json (default BENCH_bench.* in the "
+        "repo root). Forces --jobs 1: the recorder lives in this "
+        "process",
+    )
     args = parser.parse_args(argv)
     targets = set(args.targets)
     if "all" in targets:
         targets = set(TARGETS) - {"all"}
+
+    recorder = None
+    if args.trace is not None:
+        from repro.obs import spans as obs_spans
+
+        if args.jobs != 1:
+            print(
+                "[repro-bench] --trace forces --jobs 1 (the recorder "
+                "cannot follow worker processes)",
+                file=sys.stderr,
+            )
+            args.jobs = 1
+        recorder = obs_spans.install()
 
     profiler = None
     if args.profile is not None:
         import cProfile
 
         profiler = cProfile.Profile()
+        if recorder is None:
+            # --profile alone still routes through the registry: phase
+            # wall times and kernel throughput land in PATH.obs.json.
+            from repro.obs import spans as obs_spans
+
+            recorder = obs_spans.install()
 
     t_start = time.time()
     if "table2" in targets:
@@ -86,6 +114,8 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.bench.table4 import Table4Config, render_table4, run_table4
 
         config = Table4Config(target_nodes=args.target_nodes, seed=args.seed)
+        t_phase = time.time()
+        t_wall = recorder.wall_ts() if recorder is not None else 0.0
         if profiler is not None:
             profiler.enable()
             try:
@@ -94,6 +124,16 @@ def main(argv: "list[str] | None" = None) -> int:
                 profiler.disable()
         else:
             table4_results = run_table4(config, jobs=args.jobs)
+        if recorder is not None:
+            recorder.wall_span_end("bench", "table456", t_wall, track="bench")
+            wall = time.time() - t_phase
+            events = sum(r.events for r in table4_results.runs.values())
+            reg = recorder.registry
+            reg.gauge("profile.table456_wall_s").set(round(wall, 6))
+            reg.gauge("profile.table456_kernel_events").set(events)
+            reg.gauge("profile.table456_events_per_s").set(
+                round(events / wall, 1) if wall > 0 else 0.0
+            )
     if "table4" in targets:
         from repro.bench.table4 import render_table4
 
@@ -116,6 +156,8 @@ def main(argv: "list[str] | None" = None) -> int:
 
         instance = scaled_instance(n=40, target_nodes=2_000_000, seed=args.seed)
         grid = default_grid(SchedulingParams())[: args.points]
+        t_phase = time.time()
+        t_wall = recorder.wall_ts() if recorder is not None else 0.0
         if profiler is not None:
             profiler.enable()
             try:
@@ -124,6 +166,11 @@ def main(argv: "list[str] | None" = None) -> int:
                 profiler.disable()
         else:
             points = run_tuning_sweep(instance, grid=grid, jobs=args.jobs)
+        if recorder is not None:
+            recorder.wall_span_end("bench", "tuning", t_wall, track="bench")
+            recorder.registry.gauge("profile.tuning_wall_s").set(
+                round(time.time() - t_phase, 6)
+            )
         print(render_sweep(points))
         print()
 
@@ -134,6 +181,39 @@ def main(argv: "list[str] | None" = None) -> int:
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(25)
         print(f"[repro-bench] profile written to {args.profile}", file=sys.stderr)
+        if recorder is not None:
+            from repro.obs.export import dumps
+
+            obs_path = f"{args.profile}.obs.json"
+            with open(obs_path, "w") as fh:
+                fh.write(dumps({
+                    "format": "repro-obs-registry-v1",
+                    "registry": recorder.registry.snapshot(),
+                }))
+                fh.write("\n")
+            print(
+                f"[repro-bench] registry snapshot written to {obs_path}",
+                file=sys.stderr,
+            )
+
+    if args.trace is not None and recorder is not None:
+        from repro.bench.results import write_trace_artifacts
+
+        trace_path, summary_path = write_trace_artifacts(
+            recorder, args.trace or None, "BENCH_bench",
+            targets=sorted(targets), target_nodes=args.target_nodes,
+            seed=args.seed,
+        )
+        print(
+            f"[repro-bench] trace written to {trace_path} "
+            f"(summary: {summary_path})",
+            file=sys.stderr,
+        )
+
+    if recorder is not None:
+        from repro.obs import spans as obs_spans
+
+        obs_spans.uninstall()
 
     print(f"[repro-bench] done in {time.time() - t_start:.1f}s wall", file=sys.stderr)
     return 0

@@ -17,7 +17,13 @@ import subprocess
 from pathlib import Path
 from typing import Any, Optional
 
-__all__ = ["bench_meta", "git_revision", "repo_root", "write_results"]
+__all__ = [
+    "bench_meta",
+    "git_revision",
+    "repo_root",
+    "write_results",
+    "write_trace_artifacts",
+]
 
 
 def repo_root() -> Path:
@@ -75,3 +81,25 @@ def write_results(
     path = Path(out) if out else repo_root() / default_name
     path.write_text(json.dumps(results, indent=2) + "\n")
     return path
+
+
+def write_trace_artifacts(
+    rec: Any,
+    base: Optional[str],
+    default_name: str,
+    **extra_meta: Any,
+) -> "tuple[Path, Path]":
+    """Write a recorder's trace artifacts next to the BENCH_*.json files.
+
+    ``rec`` is an installed :class:`repro.obs.spans.ObsRecorder`;
+    ``base`` follows the same convention as :func:`write_results`'s
+    ``out`` (a path stem, or ``None`` for ``default_name`` in the repo
+    root).  Both files get the :func:`bench_meta` provenance block, so
+    a trace carries the same evidence chain as the numbers it explains.
+    Returns ``(chrome_trace_path, summary_path)``.
+    """
+    from repro.obs.export import write_artifacts
+
+    stem = Path(base) if base else repo_root() / default_name
+    trace, summ = write_artifacts(rec, str(stem), extra_meta=bench_meta(**extra_meta))
+    return Path(trace), Path(summ)

@@ -59,6 +59,7 @@ from repro.core.aio.pump import (
     maybe_drain,
     tune_stream,
 )
+from repro.obs import spans as _obs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.aio.relay import AioRelayStats
@@ -141,9 +142,16 @@ class MuxChain:
         is exhausted."""
         view = memoryview(data)
         while view.nbytes:
-            while self._send_window <= 0 and self._reset is None:
-                self._window_ok.clear()
-                await self._window_ok.wait()
+            if self._send_window <= 0 and self._reset is None:
+                self._session.stats.mux_window_stalls += 1
+                rec = _obs.RECORDER
+                t0 = rec.wall_ts() if rec is not None else 0.0
+                while self._send_window <= 0 and self._reset is None:
+                    self._window_ok.clear()
+                    await self._window_ok.wait()
+                if rec is not None:
+                    rec.wall_span_end("mux", "window_stall", t0,
+                                      track=f"chain:{self.chain_id}")
             if self._reset is not None:
                 raise ChainReset(str(self._reset))
             n = min(view.nbytes, self._send_window)

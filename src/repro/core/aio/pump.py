@@ -30,6 +30,8 @@ import contextlib
 import socket as _socket
 from typing import Callable, Optional
 
+from repro.obs import spans as _obs
+
 __all__ = [
     "MIN_CHUNK",
     "MAX_CHUNK",
@@ -152,6 +154,10 @@ async def pump(
             if adaptive:
                 if await maybe_drain(writer):
                     chunker.on_backpressure()
+                    rec = _obs.RECORDER
+                    if rec is not None:
+                        rec.wall_instant("pump", "backpressure", track="pump",
+                                         chunk=chunker.size)
                 else:
                     chunker.on_read(n)
             else:

@@ -50,6 +50,8 @@ from repro.core.aio.pump import (
     pump,
     tune_stream,
 )
+from repro.obs import spans as _obs
+from repro.obs.metrics import LogHistogram
 
 __all__ = [
     "AioRelayStats",
@@ -67,37 +69,10 @@ log = logging.getLogger("repro.nexus_proxy")
 DEFAULT_CHUNK = MIN_CHUNK
 
 
-class Histogram:
-    """Fixed-bucket power-of-two histogram: no per-record allocation,
-    one ``bit_length`` and one list increment per sample."""
-
-    __slots__ = ("counts",)
-
-    #: Bucket ``i`` counts samples with ``2**(i-1) < value <= 2**i - 1``
-    #: by bit length; the last bucket absorbs everything larger.
-    NBUCKETS = 32
-
-    def __init__(self) -> None:
-        self.counts = [0] * self.NBUCKETS
-
-    def record(self, value: int) -> None:
-        idx = value.bit_length() if value > 0 else 0
-        if idx >= self.NBUCKETS:
-            idx = self.NBUCKETS - 1
-        self.counts[idx] += 1
-
-    @property
-    def total(self) -> int:
-        return sum(self.counts)
-
-    def to_dict(self) -> "dict[str, int]":
-        """Sparse ``{"<=upper_bound": count}`` mapping of non-empty
-        buckets, for :meth:`AioRelayStats.snapshot`."""
-        out = {}
-        for i, count in enumerate(self.counts):
-            if count:
-                out[f"<={(1 << i) - 1}"] = count
-        return out
+#: The relay's histogram now lives in the shared observability layer
+#: (:class:`repro.obs.metrics.LogHistogram`); this alias keeps the
+#: established import path working.
+Histogram = LogHistogram
 
 
 @dataclass
@@ -118,6 +93,8 @@ class AioRelayStats:
     mux_frames: int = 0
     #: Mux link re-establishments after a drop (outer server only).
     mux_reconnects: int = 0
+    #: Times a mux chain sender blocked on an exhausted credit window.
+    mux_window_stalls: int = 0
     #: Per-chunk forwarded-size histogram (log2 buckets of bytes).
     chunk_bytes: Histogram = field(default_factory=Histogram)
     #: Per-chain lifetime byte totals (log2 buckets of bytes).
@@ -132,7 +109,12 @@ class AioRelayStats:
         self.chunk_bytes.record(nbytes)
 
     def snapshot(self) -> "dict[str, object]":
-        """Plain-data view of every counter and histogram."""
+        """Plain-data view of every counter and histogram.
+
+        The key schema is shared verbatim with the *simulated* plane's
+        :meth:`repro.core.outer.RelayStats.snapshot`, so Table 2 sim
+        results and ``bench_relay_live.py`` emit comparable JSON.
+        """
         return {
             "active_connects": self.active_connects,
             "passive_binds": self.passive_binds,
@@ -143,6 +125,7 @@ class AioRelayStats:
             "nxport_connections": self.nxport_connections,
             "mux_frames": self.mux_frames,
             "mux_reconnects": self.mux_reconnects,
+            "mux_window_stalls": self.mux_window_stalls,
             "chunk_bytes_hist": self.chunk_bytes.to_dict(),
             "chain_bytes_hist": self.chain_bytes.to_dict(),
             "chain_setup_us_hist": self.chain_setup_us.to_dict(),
@@ -361,6 +344,15 @@ class AioOuterServer(_Server):
         self.stats.active_connects += 1
         write_control(writer, ok_reply())
         await writer.drain()
+        rec = _obs.RECORDER
+        if rec is not None:
+            with rec.wall_span("relay", "active_chain", track=f"outer:{self.host}",
+                               dest=f"{msg['host']}:{msg['port']}"):
+                await _relay_pair(
+                    reader, writer, onward_r, onward_w, self.stats, self.chunk,
+                    self.pump_mode,
+                )
+            return
         await _relay_pair(
             reader, writer, onward_r, onward_w, self.stats, self.chunk, self.pump_mode
         )
@@ -397,7 +389,14 @@ class AioOuterServer(_Server):
         async def _chain_peer_mux(pr, pw) -> None:
             """One logical chain over the shared nxport link."""
             link = self.mux_link(inner_host, inner_port)
+            rec = _obs.RECORDER
             try:
+                if rec is not None:
+                    with rec.wall_span("relay", "passive_chain",
+                                       track=f"outer:{self.host}",
+                                       client=f"{client_host}:{client_port}"):
+                        await link.relay_chain(client_host, client_port, pr, pw)
+                    return
                 await link.relay_chain(client_host, client_port, pr, pw)
             except (ChainReset, ConnectionError, OSError, asyncio.TimeoutError) as exc:
                 self.stats.failed_requests += 1
@@ -490,6 +489,11 @@ class AioInnerServer(_Server):
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.stats.nxport_connections += 1
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.wall_instant("relay", "nxport_connection",
+                             track=f"inner:{self.host}",
+                             total=self.stats.nxport_connections)
         self.tune(writer)
         if self.allowed_peers is not None:
             peer = writer.get_extra_info("peername")

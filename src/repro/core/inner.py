@@ -19,6 +19,7 @@ from typing import Iterator, Optional
 from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
 from repro.core.outer import RelayStats
 from repro.core.pump import relay_pump
+from repro.obs import spans as _obs
 from repro.core.protocol import REPLY_MSG_BYTES, Reply, RelayTo
 from repro.simnet.host import Host
 from repro.simnet.kernel import Event, Process
@@ -95,6 +96,13 @@ class InnerServer:
             )
 
     def _session(self, conn: Connection) -> Iterator[Event]:
+        t0 = self.sim.now
+        self.stats.nxport_connections += 1
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_instant("relay", "nxport_connection", t0,
+                            track=f"inner:{self.host.name}",
+                            total=self.stats.nxport_connections)
         try:
             first = yield conn.recv()
         except ConnectionReset:
@@ -118,6 +126,12 @@ class InnerServer:
             return
         self.stats.passive_chains += 1
         yield conn.send(Reply(ok=True), nbytes=REPLY_MSG_BYTES)
+        self.stats.chain_setup_us.record(int((self.sim.now - t0) * 1e6))
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_span("relay", "chain_setup", t0, self.sim.now,
+                         track=f"inner:{self.host.name}", kind="passive",
+                         dest=f"{request.dest_host}:{request.dest_port}")
         self.sim.process(self._pump(conn, onward), name=f"pump@{self.host.name}")
         self.sim.process(self._pump(onward, conn), name=f"pump@{self.host.name}")
 

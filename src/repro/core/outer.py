@@ -25,6 +25,8 @@ from typing import Iterator, Optional
 
 from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
 from repro.core.pump import relay_pump
+from repro.obs import spans as _obs
+from repro.obs.metrics import LogHistogram
 from repro.core.protocol import (
     CONTROL_MSG_BYTES,
     REPLY_MSG_BYTES,
@@ -48,7 +50,16 @@ __all__ = ["OuterServer", "RelayStats"]
 
 
 class RelayStats:
-    """Forwarding counters for one relay daemon."""
+    """Forwarding counters for one simulated relay daemon.
+
+    :meth:`snapshot` shares its key schema with the live plane's
+    :meth:`repro.core.aio.relay.AioRelayStats.snapshot` — same names,
+    same units — so the sim Table 2 path and ``bench_relay_live.py``
+    emit directly comparable JSON.  (The sim plane forwards *frames*;
+    they land under the shared ``chunks_relayed`` key.  The mux
+    counters exist only so the schema matches; the sim data plane has
+    no mux link and leaves them at zero.)
+    """
 
     def __init__(self) -> None:
         self.active_connects = 0
@@ -57,6 +68,35 @@ class RelayStats:
         self.frames_relayed = 0
         self.bytes_relayed = 0
         self.failed_requests = 0
+        #: Connections accepted on the nxport (inner server only).
+        self.nxport_connections = 0
+        self.mux_frames = 0
+        self.mux_reconnects = 0
+        self.mux_window_stalls = 0
+        #: Per-wake-up forwarded-batch sizes (log2 buckets of bytes).
+        self.chunk_bytes = LogHistogram()
+        #: Per-pump lifetime byte totals (log2 buckets of bytes).
+        self.chain_bytes = LogHistogram()
+        #: Chain establishment latency (log2 buckets of simulated µs).
+        self.chain_setup_us = LogHistogram()
+
+    def snapshot(self) -> "dict[str, object]":
+        """Plain-data view, key-compatible with the live plane."""
+        return {
+            "active_connects": self.active_connects,
+            "passive_binds": self.passive_binds,
+            "passive_chains": self.passive_chains,
+            "chunks_relayed": self.frames_relayed,
+            "bytes_relayed": self.bytes_relayed,
+            "failed_requests": self.failed_requests,
+            "nxport_connections": self.nxport_connections,
+            "mux_frames": self.mux_frames,
+            "mux_reconnects": self.mux_reconnects,
+            "mux_window_stalls": self.mux_window_stalls,
+            "chunk_bytes_hist": self.chunk_bytes.to_dict(),
+            "chain_bytes_hist": self.chain_bytes.to_dict(),
+            "chain_setup_us_hist": self.chain_setup_us.to_dict(),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -170,6 +210,7 @@ class OuterServer:
     # -- active open (Fig. 3) ---------------------------------------------------
 
     def _handle_connect(self, conn: Connection, req: ConnectRequest) -> Iterator[Event]:
+        t0 = self.sim.now
         try:
             onward = yield from self.host.connect((req.dest_host, req.dest_port))
         except SocketError as exc:
@@ -179,6 +220,12 @@ class OuterServer:
             return
         self.stats.active_connects += 1
         yield conn.send(Reply(ok=True), nbytes=REPLY_MSG_BYTES)
+        self.stats.chain_setup_us.record(int((self.sim.now - t0) * 1e6))
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_span("relay", "chain_setup", t0, self.sim.now,
+                         track=f"outer:{self.host.name}", kind="active",
+                         dest=f"{req.dest_host}:{req.dest_port}")
         self._start_pumps(conn, onward)
 
     # -- passive open (Fig. 4) ----------------------------------------------------
@@ -201,6 +248,12 @@ class OuterServer:
         )
         self.bind_registrations.append(reg)
         self.stats.passive_binds += 1
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_instant("relay", "bind", self.sim.now,
+                            track=f"outer:{self.host.name}",
+                            public_port=public_sock.port,
+                            client=f"{req.client_host}:{req.client_port}")
         yield conn.send(
             BindReply(ok=True, proxy_host=self.host.name, proxy_port=public_sock.port),
             nbytes=REPLY_MSG_BYTES,
@@ -239,6 +292,7 @@ class OuterServer:
 
     def _passive_chain(self, peer: Connection, reg: _BindRegistration) -> Iterator[Event]:
         """peer → outer → inner → client (Fig. 4 steps 4-1, 4-2)."""
+        t0 = self.sim.now
         yield from self.host.execute(self.config.request_cpu)
         try:
             inner = yield from self.host.connect((reg.inner_host, reg.inner_port))
@@ -262,6 +316,12 @@ class OuterServer:
             inner.close()
             return
         self.stats.passive_chains += 1
+        self.stats.chain_setup_us.record(int((self.sim.now - t0) * 1e6))
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_span("relay", "chain_setup", t0, self.sim.now,
+                         track=f"outer:{self.host.name}", kind="passive",
+                         client=f"{reg.client_host}:{reg.client_port}")
         self._start_pumps(peer, inner)
 
     # -- data plane -----------------------------------------------------------------

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, Optional
 
+from repro.obs import spans as _obs
 from repro.simnet.host import Host
 from repro.simnet.kernel import Event
 from repro.simnet.socket import Connection, ConnectionReset
@@ -51,6 +52,17 @@ def relay_pump(
     outstanding = 0
     drained: Optional[Event] = None
     read_budget = config.chunk_bytes  # adaptive read size (grows)
+    t_start = sim.now
+    pump_frames = 0
+    pump_bytes = 0
+
+    def _finish() -> None:
+        stats.chain_bytes.record(pump_bytes)
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_span("relay", "pump", t_start, sim.now,
+                         track=f"relay:{host.name}",
+                         frames=pump_frames, bytes=pump_bytes)
 
     def _forward(payload, nbytes: int) -> Iterator[Event]:
         nonlocal outstanding, drained
@@ -74,6 +86,7 @@ def relay_pump(
                 drained = sim.event()
                 yield drained
             dst.close()
+            _finish()
             return
         batch = [msg]
         batch_bytes = msg.nbytes
@@ -94,8 +107,12 @@ def relay_pump(
         )
         stats.frames_relayed += len(batch)
         stats.bytes_relayed += batch_bytes
+        stats.chunk_bytes.record(batch_bytes)
+        pump_frames += len(batch)
+        pump_bytes += batch_bytes
         if dst.closed:
             src.close()
+            _finish()
             return
         for m in batch:
             outstanding += 1

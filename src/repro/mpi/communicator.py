@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.mpi.errors import MPIError
+from repro.obs import spans as _obs
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, ENVELOPE_BYTES, Envelope, Status
 from repro.nexus.context import NexusContext
 from repro.nexus.endpoint import Endpoint
@@ -88,6 +89,9 @@ class Communicator:
                 raise MPIError(f"rank {self.rank}: non-envelope message {env!r}")
             self.messages_received += 1
             self.bytes_received += env.nbytes
+            rec = _obs.RECORDER
+            if rec is not None:
+                rec.count_pair("mpi.messages_recv", f"{env.source}->{self.rank}")
             for i, (source, tag, ev) in enumerate(self._waiters):
                 if env.matches(source, tag):
                     del self._waiters[i]
@@ -133,10 +137,18 @@ class Communicator:
             yield from sp.send(env, nbytes=nbytes + ENVELOPE_BYTES)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        rec = _obs.RECORDER
+        if rec is not None:
+            pair = f"{self.rank}->{dest}"
+            rec.count_pair("mpi.messages", pair)
+            rec.count_pair("mpi.bytes", pair, nbytes)
 
     def _deliver_local(self, env: Envelope) -> None:
         self.messages_received += 1
         self.bytes_received += env.nbytes
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.count_pair("mpi.messages_recv", f"{env.source}->{self.rank}")
         for i, (source, tag, ev) in enumerate(self._waiters):
             if env.matches(source, tag):
                 del self._waiters[i]
@@ -227,6 +239,9 @@ class Communicator:
         """Non-blocking probe: status of the first matching pending
         message, or ``None`` (does not consume it)."""
         self._start_pump()
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.count_pair("mpi.iprobe_calls", f"rank{self.rank}")
         for env in self._pending:
             if env.matches(source, tag):
                 return Status(env.source, env.tag, env.nbytes, self.sim.now)

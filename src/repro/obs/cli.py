@@ -1,0 +1,156 @@
+"""``repro-obs`` — summarize, diff, and validate run artifacts.
+
+Works over the files `repro-bench --trace` (and
+:func:`repro.obs.export.write_artifacts`) produce::
+
+    repro-obs summarize BENCH_table4.trace.json
+    repro-obs diff run_a.summary.json run_b.summary.json
+    repro-obs validate BENCH_table4.trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.obs.export import (
+    CHROME_FORMAT_TAG,
+    diff_summaries,
+    validate_chrome_trace,
+)
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> Any:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _summarize_trace(obj: "dict[str, Any]") -> "dict[str, Any]":
+    """Aggregate a Chrome trace file back into summary-shaped data
+    (so `summarize` works on either artifact)."""
+    cats: dict[str, dict[str, Any]] = {}
+    pid_domain = {1: "sim", 2: "wall"}
+    total = 0
+    for ev in obj.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        total += 1
+        domain = pid_domain.get(ev.get("pid"), "?")
+        key = f"{domain}:{ev.get('cat', '?')}"
+        agg = cats.setdefault(
+            key,
+            {"events": 0, "spans": 0, "instants": 0, "counters": 0,
+             "span_total_s": 0.0, "span_max_s": 0.0},
+        )
+        agg["events"] += 1
+        if ph == "X":
+            agg["spans"] += 1
+            dur_s = ev.get("dur", 0) / 1e6
+            agg["span_total_s"] += dur_s
+            if dur_s > agg["span_max_s"]:
+                agg["span_max_s"] = dur_s
+        elif ph == "i":
+            agg["instants"] += 1
+        elif ph == "C":
+            agg["counters"] += 1
+    return {
+        "format": "repro-obs-summary-v1",
+        "total_events": total,
+        "categories": dict(sorted(cats.items())),
+        "registry": obj.get("otherData", {}).get("registry", {}),
+    }
+
+
+def _as_summary(obj: Any, path: str) -> "dict[str, Any]":
+    if isinstance(obj, dict) and "traceEvents" in obj:
+        return _summarize_trace(obj)
+    if isinstance(obj, dict) and obj.get("format", "").startswith("repro-obs-summary"):
+        return obj
+    raise SystemExit(f"{path}: not a repro-obs trace or summary file")
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    summ = _as_summary(_load(args.path), args.path)
+    print(f"{args.path}: {summ['total_events']} events")
+    cats = summ.get("categories", {})
+    if cats:
+        width = max(len(k) for k in cats)
+        print(f"  {'category'.ljust(width)}  events  spans  span_total_s")
+        for key, agg in cats.items():
+            print(
+                f"  {key.ljust(width)}  {agg['events']:6d}  {agg['spans']:5d}"
+                f"  {agg['span_total_s']:.6f}"
+            )
+    reg = summ.get("registry", {})
+    if reg:
+        print(f"  registry: {len(reg)} entries")
+        if args.verbose:
+            print(json.dumps(reg, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    a = _as_summary(_load(args.a), args.a)
+    b = _as_summary(_load(args.b), args.b)
+    diff = diff_summaries(a, b)
+    changed = diff["changed"]
+    if not changed:
+        print("identical")
+        return 0
+    for key, change in changed.items():
+        if "delta" in change:
+            print(f"{key}: {change['a']} -> {change['b']} ({change['delta']:+g})")
+        else:
+            print(f"{key}: {change['a']!r} -> {change['b']!r}")
+    return 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        obj = _load(args.path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.path}: INVALID ({exc})")
+        return 1
+    errors = validate_chrome_trace(obj)
+    if errors:
+        print(f"{args.path}: INVALID")
+        for err in errors:
+            print(f"  {err}")
+        return 1
+    n = sum(1 for ev in obj["traceEvents"] if ev.get("ph") != "M")
+    print(f"{args.path}: OK ({CHROME_FORMAT_TAG}, {n} events)")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs", description="Inspect repro observability artifacts."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="print per-category aggregates")
+    p.add_argument("path")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also dump the registry snapshot")
+    p.set_defaults(func=_cmd_summarize)
+
+    p = sub.add_parser("diff", help="compare two runs (exit 1 if they differ)")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("validate", help="schema-check a Chrome trace file")
+    p.add_argument("path")
+    p.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

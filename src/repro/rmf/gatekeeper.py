@@ -37,6 +37,7 @@ from repro.rmf.gass import FileStore
 from repro.rmf.jobs import JobResult, JobSpec, JobState, RMFError
 from repro.rmf.qsystem import DEFAULT_QSERVER_PORT, QClient, QServer
 from repro.rmf.rsl import parse_rsl
+from repro.obs import spans as _obs
 from repro.simnet.host import Host
 from repro.simnet.kernel import AllOf, Event
 from repro.simnet.socket import Connection, ConnectionReset, ListenSocket, SocketError
@@ -146,12 +147,22 @@ class Gatekeeper:
             msg = yield conn.recv()
         except ConnectionReset:
             return
+        t0 = self.sim.now
+
+        def _span_end(ok: bool) -> None:
+            """GRAM span: request received → reply sent (Fig. 2 steps 1-6)."""
+            rec = _obs.RECORDER
+            if rec is not None:
+                rec.sim_span("rmf", "gram_request", t0, self.sim.now,
+                             track=f"gatekeeper:{self.host.name}", ok=ok)
+
         request = msg.payload
         if not isinstance(request, GramRequest):
             yield conn.send(
                 GramReply(ok=False, error="malformed request"), nbytes=_CTRL_BYTES
             )
             conn.close()
+            _span_end(False)
             return
         self.requests_handled += 1
         if not self.authenticate(request.subject):
@@ -161,28 +172,33 @@ class Gatekeeper:
                 nbytes=_CTRL_BYTES,
             )
             conn.close()
+            _span_end(False)
             return
         try:
             spec = parse_rsl(request.rsl)
         except RMFError as exc:
             yield conn.send(GramReply(ok=False, error=str(exc)), nbytes=_CTRL_BYTES)
             conn.close()
+            _span_end(False)
             return
         try:
             results = yield from self._run_via_qsystem(spec)
         except RMFError as exc:
             yield conn.send(GramReply(ok=False, error=str(exc)), nbytes=_CTRL_BYTES)
             conn.close()
+            _span_end(False)
             return
         reply = GramReply(ok=True, results=tuple(results))
         out_bytes = sum(FileStore.bundle_bytes(r.output_files) for r in results)
         yield conn.send(reply, nbytes=_CTRL_BYTES + out_bytes)
         conn.close()
+        _span_end(True)
 
     def _run_via_qsystem(self, spec: JobSpec) -> Iterator[Event]:
         """Steps 3–6: allocator inquiry, sub-job fan-out, collection."""
         qclient = QClient(self.host, staging=self.staging)
         # Step 3–4: ask the allocator.
+        t_alloc = self.sim.now
         alloc_conn = yield from self.host.connect(self.allocator_addr)
         yield alloc_conn.send(AllocRequest(spec), nbytes=_CTRL_BYTES)
         try:
@@ -191,9 +207,16 @@ class Gatekeeper:
             raise RMFError("allocator dropped the connection")
         alloc_reply: AllocReply = reply_msg.payload
         alloc_conn.close()
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_span("rmf", "allocate", t_alloc, self.sim.now,
+                         track=f"gatekeeper:{self.host.name}",
+                         ok=alloc_reply.ok,
+                         assignments=len(alloc_reply.assignments))
         if not alloc_reply.ok:
             raise RMFError(f"allocation failed: {alloc_reply.error}")
         # Step 5: submit sub-jobs concurrently, one per resource.
+        t_subs = self.sim.now
         subs = [
             self.sim.process(
                 qclient.submit((a.host, a.port), spec, nprocs=a.nprocs),
@@ -202,6 +225,11 @@ class Gatekeeper:
             for a in alloc_reply.assignments
         ]
         gathered = yield AllOf(self.sim, subs)
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_span("rmf", "subjobs", t_subs, self.sim.now,
+                         track=f"gatekeeper:{self.host.name}",
+                         count=len(subs))
         return [gathered[p] for p in subs]
 
 

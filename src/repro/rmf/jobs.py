@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.obs import spans as _obs
+
 __all__ = ["JobState", "JobSpec", "JobRecord", "JobResult", "RMFError"]
 
 
@@ -98,11 +100,19 @@ class JobRecord:
     stdout: str = ""
     error: Optional[str] = None
 
+    def _transition_instant(self, now: float) -> None:
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_instant("rmf.job", self.state.value, now,
+                            track=f"job:{self.job_id}",
+                            executable=self.spec.executable)
+
     def mark_active(self, now: float) -> None:
         if self.state is not JobState.PENDING:
             raise RMFError(f"job {self.job_id}: bad transition {self.state}->ACTIVE")
         self.state = JobState.ACTIVE
         self.started_at = now
+        self._transition_instant(now)
 
     def mark_done(self, now: float, exit_code: int, stdout: str) -> None:
         if self.state is not JobState.ACTIVE:
@@ -111,6 +121,7 @@ class JobRecord:
         self.finished_at = now
         self.exit_code = exit_code
         self.stdout = stdout
+        self._transition_instant(now)
 
     def mark_failed(self, now: float, error: str) -> None:
         if self.state.terminal:
@@ -119,6 +130,7 @@ class JobRecord:
         self.finished_at = now
         self.exit_code = self.exit_code if self.exit_code is not None else 1
         self.error = error
+        self._transition_instant(now)
 
     @property
     def queued_time(self) -> float:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro.obs import spans as _obs
 from repro.rmf.executables import ExecutableRegistry, ExecutionContext, default_registry
 from repro.rmf.gass import FileStore
 from repro.rmf.jobs import JobRecord, JobResult, JobSpec, JobState, RMFError, next_job_id
@@ -272,6 +273,11 @@ class QServer:
         self, record: JobRecord, submit: QSubmit, conn: Connection
     ) -> Iterator[Event]:
         record.mark_active(self.sim.now)
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_span("rmf.job", "queued", record.submitted_at, self.sim.now,
+                         track=f"qserver:{self.resource_name}",
+                         job_id=record.job_id)
         self.running_jobs += 1
         yield conn.send(QStarted(record.job_id), nbytes=_CTRL_BYTES)
         ctx = ExecutionContext(
@@ -297,6 +303,12 @@ class QServer:
             record.mark_failed(self.sim.now, failed_error)
         else:
             record.mark_done(self.sim.now, exit_code, ctx.stdout())
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_span("rmf.job", "run", record.started_at, self.sim.now,
+                         track=f"qserver:{self.resource_name}",
+                         job_id=record.job_id, state=record.state.value,
+                         executable=record.spec.executable)
         out_files: dict[str, bytes] = {}
         for name in record.spec.stage_out:
             if self.files.exists(name):

@@ -33,12 +33,29 @@ class Tracer:
     ``enable("connect", "deliver")`` turns on those categories;
     ``enable_all()`` records everything.  ``emit`` is a no-op for
     disabled categories, so tracing costs nothing when off.
+
+    Queries (:meth:`of` / :meth:`count`) run off a per-category index,
+    so the repeated per-category lookups in the relay ablations cost
+    O(matches), not O(all records).  ``records`` stays the public
+    chronological list; code that appends to it directly is still
+    supported — the index detects the drift and rebuilds.
     """
 
     def __init__(self) -> None:
         self._enabled: set[str] = set()
         self._all = False
         self.records: list[TraceRecord] = []
+        self._by_cat: dict[str, list[TraceRecord]] = {}
+        self._indexed = 0  # records covered by the index
+
+    def _index(self) -> "dict[str, list[TraceRecord]]":
+        if self._indexed != len(self.records):
+            # Someone touched .records directly; rebuild from scratch.
+            self._by_cat = {}
+            for r in self.records:
+                self._by_cat.setdefault(r.category, []).append(r)
+            self._indexed = len(self.records)
+        return self._by_cat
 
     def enable(self, *categories: str) -> None:
         self._enabled.update(categories)
@@ -55,17 +72,32 @@ class Tracer:
 
     def emit(self, time: float, category: str, **fields: Any) -> None:
         if self._all or category in self._enabled:
-            self.records.append(TraceRecord(time, category, fields))
+            record = TraceRecord(time, category, fields)
+            if self._indexed == len(self.records):
+                self._by_cat.setdefault(category, []).append(record)
+                self._indexed += 1
+            self.records.append(record)
 
     def of(self, category: str) -> Iterator[TraceRecord]:
         """Iterate records of one category, in time order."""
-        return (r for r in self.records if r.category == category)
+        return iter(self._index().get(category, ()))
 
     def count(self, category: str) -> int:
-        return sum(1 for _ in self.of(category))
+        return len(self._index().get(category, ()))
+
+    def to_obs(self, recorder: Any, track: str = "simnet") -> int:
+        """Bridge every record into the new event model as sim-domain
+        instants on ``recorder`` (an
+        :class:`repro.obs.spans.ObsRecorder`); returns how many."""
+        for r in self.records:
+            recorder.sim_instant(r.category, r.category, r.time, track,
+                                 **r.fields)
+        return len(self.records)
 
     def clear(self) -> None:
         self.records.clear()
+        self._by_cat.clear()
+        self._indexed = 0
 
     def __len__(self) -> int:
         return len(self.records)

@@ -149,6 +149,20 @@ class RunningStats:
             total=self._mean * self.n,
         )
 
+    def snapshot(self) -> "dict[str, float]":
+        """Plain-data view for the metrics registry (empty accumulators
+        snapshot as zeros rather than raising)."""
+        if self.n == 0:
+            return {"count": 0, "mean": 0.0, "stdev": 0.0,
+                    "minimum": 0.0, "maximum": 0.0}
+        return {
+            "count": self.n,
+            "mean": self._mean,
+            "stdev": self.stdev,
+            "minimum": self._min,
+            "maximum": self._max,
+        }
+
 
 def median(xs: Sequence[float]) -> float:
     """Median of a non-empty sequence (used by benchmark repetitions)."""

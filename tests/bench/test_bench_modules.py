@@ -108,3 +108,51 @@ def test_cli_smoke(capsys):
     out = capsys.readouterr().out
     assert "Wide-area Cluster" in out
     assert "vendor provided mpi" in out
+
+
+def test_cli_trace_writes_valid_artifacts(tmp_path, capsys):
+    import json
+
+    from repro.bench.cli import main
+    from repro.obs import spans
+    from repro.obs.export import validate_chrome_trace
+
+    base = tmp_path / "smoke"
+    rc = main([
+        "table4", "--target-nodes", "50000",
+        "--trace", str(base), "--jobs", "4",
+    ])
+    assert rc == 0
+    assert spans.RECORDER is None  # CLI uninstalls on exit
+    err = capsys.readouterr().err
+    assert "forces --jobs 1" in err  # --trace cannot fan out
+    trace = json.loads((tmp_path / "smoke.trace.json").read_text())
+    assert validate_chrome_trace(trace) == []
+    assert trace["otherData"]["target_nodes"] == 50000
+    cats = {ev["cat"] for ev in trace["traceEvents"] if ev["ph"] != "M"}
+    assert {"kernel", "relay", "steal", "run", "bench"} <= cats
+    summ = json.loads((tmp_path / "smoke.summary.json").read_text())
+    assert summ["total_events"] == sum(
+        1 for ev in trace["traceEvents"] if ev["ph"] != "M"
+    )
+    # The registry routed the profile-style phase gauges.
+    assert summ["registry"]["profile.table456_wall_s"] > 0
+    assert summ["registry"]["profile.table456_kernel_events"] > 0
+
+
+def test_cli_profile_writes_registry_snapshot(tmp_path, capsys):
+    import json
+
+    from repro.bench.cli import main
+    from repro.obs import spans
+
+    pstats_path = tmp_path / "prof.pstats"
+    rc = main([
+        "tuning", "--points", "2", "--profile", str(pstats_path),
+    ])
+    assert rc == 0
+    assert spans.RECORDER is None
+    assert pstats_path.exists()
+    obs = json.loads((tmp_path / "prof.pstats.obs.json").read_text())
+    assert obs["format"] == "repro-obs-registry-v1"
+    assert obs["registry"]["profile.tuning_wall_s"] > 0

@@ -1,0 +1,96 @@
+"""Metrics primitives and the registry's aggregation contract."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, LogHistogram, MetricsRegistry
+
+
+def test_counter_and_gauge_basics():
+    c = Counter("c")
+    c.inc()
+    c.inc(4)
+    assert c.snapshot() == 5
+    g = Gauge("g")
+    g.set(2.5)
+    g.add(0.5)
+    assert g.snapshot() == 3.0
+
+
+def test_histogram_bucketing():
+    h = LogHistogram()
+    for v in (0, 1, 2, 3, 4, 1023, 1024):
+        h.record(v)
+    d = h.to_dict()
+    # 0 -> bucket 0 ("<=0"); 1 -> "<=1"; 2,3 -> "<=3"; 4 -> "<=7";
+    # 1023 -> "<=1023"; 1024 -> "<=2047".
+    assert d == {"<=0": 1, "<=1": 1, "<=3": 2, "<=7": 1,
+                 "<=1023": 1, "<=2047": 1}
+    assert h.total == 7
+
+
+def test_histogram_overflow_and_merge():
+    h = LogHistogram()
+    h.record(1 << 60)  # far beyond the last bucket boundary
+    assert sum(h.counts) == 1
+    assert h.counts[LogHistogram.NBUCKETS - 1] == 1
+    other = LogHistogram()
+    other.record(5)
+    h.merge(other)
+    assert h.total == 2
+
+
+def test_registry_interns_by_name():
+    reg = MetricsRegistry()
+    assert reg.counter("a.b") is reg.counter("a.b")
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.histogram("h") is reg.histogram("h")
+    assert len(reg) == 3
+
+
+def test_registry_type_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_counter2d_families_nest_in_snapshot():
+    reg = MetricsRegistry()
+    reg.counter2d("mpi.bytes", "0->1").inc(100)
+    reg.counter2d("mpi.bytes", "1->0").inc(7)
+    assert reg.counter2d("mpi.bytes", "0->1") is reg.counter2d("mpi.bytes", "0->1")
+    snap = reg.snapshot()
+    assert snap["mpi.bytes"] == {"0->1": 100, "1->0": 7}
+
+
+def test_collectors_read_live_state():
+    class Stats:
+        def __init__(self):
+            self.n = 0
+
+        def snapshot(self):
+            return {"n": self.n}
+
+    reg = MetricsRegistry()
+    s = Stats()
+    reg.register_collector("relay.outer", s.snapshot)
+    s.n = 42  # mutate after registration: snapshot must see it
+    assert reg.snapshot()["relay.outer"] == {"n": 42}
+    reg.unregister_collector("relay.outer")
+    assert "relay.outer" not in reg.snapshot()
+
+
+def test_snapshot_serializes_deterministically():
+    def build(order):
+        reg = MetricsRegistry()
+        for name in order:
+            reg.counter(name).inc()
+        reg.counter2d("fam", "b").inc()
+        reg.counter2d("fam", "a").inc(2)
+        return json.dumps(reg.snapshot(), sort_keys=True)
+
+    assert build(["z", "a", "m"]) == build(["m", "z", "a"])

@@ -49,6 +49,51 @@ def test_clear_and_iter():
     assert len(t) == 0
 
 
+def test_index_survives_direct_records_append():
+    """Code that appends to ``.records`` directly (bypassing ``emit``)
+    still gets correct ``of``/``count`` — the index detects the drift
+    and rebuilds."""
+    t = Tracer()
+    t.enable_all()
+    t.emit(1.0, "a", n=1)
+    assert t.count("a") == 1  # index built
+    t.records.append(TraceRecord(2.0, "a", {"n": 2}))
+    t.records.append(TraceRecord(3.0, "b", {}))
+    assert t.count("a") == 2
+    assert t.count("b") == 1
+    assert [r.time for r in t.of("a")] == [1.0, 2.0]
+    # And emit keeps working after a rebuild.
+    t.emit(4.0, "a", n=3)
+    assert t.count("a") == 3
+    t.clear()
+    assert t.count("a") == 0 and len(t) == 0
+
+
+def test_of_is_time_ordered_per_category():
+    t = Tracer()
+    t.enable_all()
+    for i in range(6):
+        t.emit(float(i), "even" if i % 2 == 0 else "odd", i=i)
+    assert [r["i"] for r in t.of("even")] == [0, 2, 4]
+    assert [r["i"] for r in t.of("odd")] == [1, 3, 5]
+
+
+def test_to_obs_bridges_into_recorder():
+    from repro.obs.spans import ObsRecorder
+
+    t = Tracer()
+    t.enable_all()
+    t.emit(1.0, "connect", src="a")
+    t.emit(2.5, "msg.deliver", nbytes=10)
+    rec = ObsRecorder()
+    assert t.to_obs(rec, track="net") == 2
+    assert len(rec) == 2
+    ev = rec.events[1]
+    assert ev.domain == "sim" and ev.cat == "msg.deliver"
+    assert ev.ts == 2.5 and ev.track == "net"
+    assert ev.args == {"nbytes": 10}
+
+
 def test_socket_layer_emits_connects_and_deliveries():
     net = Network()
     net.tracer.enable("connect", "msg.deliver")
