@@ -9,6 +9,7 @@
     repro-bench table4 --profile                # cProfile the run
     repro-bench table4 --trace                  # Chrome trace + summary
     repro-bench all --jobs 0                    # all tables, all cores
+    repro-bench regress BENCH_sim.json baseline.json   # perf gate
 """
 
 from __future__ import annotations
@@ -33,6 +34,14 @@ def _print_table3() -> None:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "regress":
+        # The regression gate has its own argument surface; hand off
+        # before the table-target parser rejects it.
+        from repro.bench.regress import main as regress_main
+
+        return regress_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables on the simulated testbed",
@@ -69,6 +78,13 @@ def main(argv: "list[str] | None" = None) -> int:
         "repo root). Forces --jobs 1: the recorder lives in this "
         "process",
     )
+    parser.add_argument(
+        "--causal", nargs="?", const="sim", default=None, metavar="SITE",
+        help="mint causal trace contexts during the runs (every RMF "
+        "submit becomes a traced origin; ids are prefixed SITE, "
+        "default 'sim'). Combine with --trace, then stitch with "
+        "'repro-obs assemble'",
+    )
     args = parser.parse_args(argv)
     targets = set(args.targets)
     if "all" in targets:
@@ -86,6 +102,11 @@ def main(argv: "list[str] | None" = None) -> int:
             )
             args.jobs = 1
         recorder = obs_spans.install()
+
+    if args.causal is not None:
+        from repro.obs import trace as obs_trace
+
+        obs_trace.enable(args.causal)
 
     profiler = None
     if args.profile is not None:
@@ -210,6 +231,10 @@ def main(argv: "list[str] | None" = None) -> int:
             file=sys.stderr,
         )
 
+    if args.causal is not None:
+        from repro.obs import trace as obs_trace
+
+        obs_trace.disable()
     if recorder is not None:
         from repro.obs import spans as obs_spans
 

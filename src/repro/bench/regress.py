@@ -1,0 +1,228 @@
+"""Benchmark regression gate: fresh results vs a committed baseline.
+
+``repro-bench regress FRESH BASELINE`` compares two benchmark JSON
+files (the ``BENCH_relay.json`` / ``BENCH_sim.json`` the live harnesses
+write) leaf by leaf and renders a machine-readable verdict.
+
+Benchmarks are noisy — a shared CI box easily moves throughput ±10% —
+so equality is the wrong test.  Every numeric leaf is classified by its
+key into a *direction*:
+
+* **higher-better** (``*_per_s``, ``*mb_per_s``, ``speedup``) regresses
+  when ``fresh < baseline * (1 - tolerance)``;
+* **lower-better** (``*wall_s``, ``*_us``, ``*sim_time_s``) regresses
+  when ``fresh > baseline * (1 + tolerance)``;
+* everything else (node counts, connection counts, ...) is checked for
+  *exact* equality and reported as ``changed`` — informative, never a
+  regression by itself (a changed workload is a schema question, not a
+  perf question).
+
+``meta.*`` provenance (git hash, platform, timings of the harness
+itself) is skipped entirely.  The verdict JSON
+(``repro-bench-regress-v1``) carries every classified leaf, so CI can
+archive it and humans can see *which* number moved and by how much.
+
+Exit codes mirror ``repro-obs``: 0 pass, 1 regression found, 2 a file
+that could not be read or is not benchmark-shaped.  ``--report-only``
+clamps exit 1 back to 0 (the CI default while baselines season) but
+still exits 2 on unreadable input — a broken artifact pipeline must
+fail loudly even in report mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional
+
+__all__ = [
+    "REGRESS_FORMAT_TAG",
+    "DEFAULT_TOLERANCE",
+    "classify_key",
+    "compare",
+    "main",
+]
+
+REGRESS_FORMAT_TAG = "repro-bench-regress-v1"
+
+#: Relative tolerance before a directional move counts as a regression.
+DEFAULT_TOLERANCE = 0.25
+
+_HIGHER_BETTER = ("_per_s", "mb_per_s", "speedup", "nodes_per_s")
+_LOWER_BETTER = ("wall_s", "_us", "sim_time_s")
+
+
+def classify_key(key: str) -> Optional[str]:
+    """``"higher"``, ``"lower"``, or ``None`` (exact-match leaf).
+
+    The *leaf* name decides: ``rtt_64b.fixed.p95_us`` is lower-better,
+    ``table4.seed.nodes`` is exact.
+    """
+    leaf = key.rsplit(".", 1)[-1]
+    for suffix in _HIGHER_BETTER:
+        if leaf.endswith(suffix) or leaf == suffix.lstrip("_"):
+            return "higher"
+    for suffix in _LOWER_BETTER:
+        if leaf.endswith(suffix):
+            return "lower"
+    return None
+
+
+def _flatten(prefix: str, value: Any, out: "dict[str, Any]") -> None:
+    if isinstance(value, dict):
+        for k in sorted(value):
+            _flatten(f"{prefix}.{k}" if prefix else str(k), value[k], out)
+    else:
+        out[prefix] = value
+
+
+def compare(
+    fresh: "dict[str, Any]",
+    baseline: "dict[str, Any]",
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> "dict[str, Any]":
+    """Build the verdict dict for one fresh/baseline pair."""
+    ff: dict[str, Any] = {}
+    fb: dict[str, Any] = {}
+    _flatten("", fresh, ff)
+    _flatten("", baseline, fb)
+    regressions: list[dict[str, Any]] = []
+    improvements: list[dict[str, Any]] = []
+    changed: list[dict[str, Any]] = []
+    missing: list[str] = []
+    checked = 0
+    for key in sorted(fb):
+        if key.startswith("meta."):
+            continue
+        base = fb[key]
+        if key not in ff:
+            missing.append(key)
+            continue
+        new = ff[key]
+        numeric = (
+            isinstance(base, (int, float)) and not isinstance(base, bool)
+            and isinstance(new, (int, float)) and not isinstance(new, bool)
+        )
+        direction = classify_key(key) if numeric else None
+        if direction is None:
+            if base != new:
+                changed.append({"key": key, "baseline": base, "fresh": new})
+            continue
+        checked += 1
+        ratio = (new / base) if base else (1.0 if new == base else float("inf"))
+        entry = {
+            "key": key,
+            "direction": direction,
+            "baseline": base,
+            "fresh": new,
+            "ratio": round(ratio, 4),
+        }
+        if direction == "higher":
+            if new < base * (1.0 - tolerance):
+                regressions.append(entry)
+            elif new > base * (1.0 + tolerance):
+                improvements.append(entry)
+        else:
+            if new > base * (1.0 + tolerance):
+                regressions.append(entry)
+            elif new < base * (1.0 - tolerance):
+                improvements.append(entry)
+    return {
+        "format": REGRESS_FORMAT_TAG,
+        "tolerance": tolerance,
+        "status": "regressed" if regressions else "ok",
+        "checked": checked,
+        "regressions": regressions,
+        "improvements": improvements,
+        "changed": changed,
+        "missing_keys": missing,
+    }
+
+
+def _load(path: str) -> "dict[str, Any]":
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise SystemExit2(f"{path}: cannot read ({exc.strerror or exc})")
+    if not text.strip():
+        raise SystemExit2(f"{path}: empty file")
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit2(
+            f"{path}: corrupt or truncated JSON "
+            f"(line {exc.lineno} col {exc.colno}: {exc.msg})"
+        )
+    if not isinstance(obj, dict) or not obj:
+        raise SystemExit2(f"{path}: not a benchmark results object")
+    return obj
+
+
+class SystemExit2(Exception):
+    """Unreadable/not-benchmark-shaped input → exit code 2."""
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench regress",
+        description="Compare fresh benchmark JSON against a baseline.",
+    )
+    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline to compare against")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE, metavar="FRAC",
+        help="relative slack before a directional move counts "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the verdict JSON here",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="exit 0 even on regressions (still 2 on unreadable input)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        verdict = compare(
+            _load(args.fresh), _load(args.baseline), tolerance=args.tolerance
+        )
+    except SystemExit2 as exc:
+        print(f"repro-bench regress: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(verdict, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(
+        f"{args.fresh} vs {args.baseline}: {verdict['status']} "
+        f"({verdict['checked']} leaves checked, "
+        f"tolerance ±{args.tolerance:.0%})"
+    )
+    for entry in verdict["regressions"]:
+        arrow = "↓" if entry["direction"] == "higher" else "↑"
+        print(
+            f"  REGRESSED {entry['key']}: {entry['baseline']} -> "
+            f"{entry['fresh']} ({arrow} x{entry['ratio']})"
+        )
+    for entry in verdict["improvements"]:
+        print(
+            f"  improved  {entry['key']}: {entry['baseline']} -> "
+            f"{entry['fresh']} (x{entry['ratio']})"
+        )
+    for entry in verdict["changed"]:
+        print(
+            f"  changed   {entry['key']}: {entry['baseline']!r} -> "
+            f"{entry['fresh']!r}"
+        )
+    if verdict["missing_keys"]:
+        print(f"  missing   {', '.join(verdict['missing_keys'])}")
+    if verdict["status"] == "regressed" and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

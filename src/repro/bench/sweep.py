@@ -70,8 +70,44 @@ def fan_out(
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
         return [fn(t) for t in tasks]
+    from repro.obs import spans as _obs
+
+    parent = _obs.RECORDER
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        return list(pool.map(fn, tasks))
+        if parent is None:
+            return list(pool.map(fn, tasks))
+        # A recorder is installed (--profile / --trace): run each task
+        # under a fresh worker-local recorder and ship its registry
+        # snapshot home with the result, so worker-side metrics are not
+        # lost to the process boundary.  Absorbing in task order keeps
+        # the merged registry deterministic.
+        pairs = list(pool.map(_run_with_registry, [(fn, t) for t in tasks]))
+    results = [result for result, _ in pairs]
+    for _, snap in pairs:
+        parent.registry.absorb(snap)
+    return results
+
+
+def _run_with_registry(item: "tuple[Callable, object]") -> "tuple[object, dict]":
+    """Worker shim: run one task under a fresh recorder, return the
+    result plus the registry snapshot it accumulated.
+
+    The fresh recorder matters twice over: a fork-inherited parent
+    recorder would double-count the parent's pre-fork metrics, and
+    pool workers are reused across tasks, so per-task installation is
+    the only way snapshots stay disjoint.
+    """
+    from repro.obs import spans as _obs
+
+    fn, task = item
+    rec = _obs.ObsRecorder()
+    prev = _obs.RECORDER
+    _obs.RECORDER = rec
+    try:
+        result = fn(task)
+    finally:
+        _obs.RECORDER = prev
+    return result, rec.registry.snapshot()
 
 
 # -- picklable task runners ---------------------------------------------------

@@ -20,6 +20,8 @@ from repro.core.aio.protocol import (
 )
 from repro.core.aio.pump import STREAM_LIMIT, tune_stream
 from repro.core.protocol import NXProxyError
+from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 
 __all__ = ["AioProxyClient", "AioProxiedListener"]
 
@@ -93,9 +95,21 @@ class AioProxyClient:
 
     # -- active open (Fig. 3) ------------------------------------------------
 
-    async def connect(self, host: str, port: int) -> StreamPair:
+    async def connect(
+        self, host: str, port: int,
+        tctx: "Optional[_trace.TraceContext]" = None,
+    ) -> StreamPair:
         """(``NXProxyConnect``) open a relayed — or, when no proxy is
-        configured, direct — connection to ``host:port``."""
+        configured, direct — connection to ``host:port``.
+
+        With causal tracing on, the connect is an origin: a fresh
+        context is minted (or ``tctx``/the ambient task context is
+        continued) and rides the control line, tagging every relay-side
+        span of this chain.
+        """
+        if tctx is None and _trace.ENABLED:
+            tctx = _trace.current()
+            tctx = _trace.child(tctx) if tctx is not None else _trace.mint("connect")
         if not self.enabled:
             reader, writer = await asyncio.open_connection(
                 host, port, limit=STREAM_LIMIT
@@ -110,6 +124,8 @@ class AioProxyClient:
         request = {"op": "connect", "host": host, "port": port}
         if self.secret is not None:
             request["secret"] = self.secret
+        if tctx is not None:
+            request["tctx"] = tctx.to_wire()
         write_control(writer, request)
         await writer.drain()
         try:
@@ -122,6 +138,14 @@ class AioProxyClient:
             raise NXProxyError(
                 f"NXProxyConnect({host}:{port}): {reply.get('error', 'refused')}"
             )
+        if tctx is not None:
+            rec = _obs.RECORDER
+            if rec is not None:
+                # Anchor the origin span so the relay-side hops'
+                # parent links resolve in an assembled trace.
+                rec.wall_instant("nxproxy", "connect", track="client",
+                                 dest=f"{host}:{port}",
+                                 **_trace.span_args(tctx))
         return reader, writer
 
     # Table 1 spelling.
@@ -129,9 +153,19 @@ class AioProxyClient:
 
     # -- passive open (Fig. 4) --------------------------------------------------
 
-    async def bind(self) -> AioProxiedListener:
+    async def bind(
+        self, tctx: "Optional[_trace.TraceContext]" = None
+    ) -> AioProxiedListener:
         """(``NXProxyBind``) publish a listening endpoint on the outer
-        server; peers that connect there are chained back here."""
+        server; peers that connect there are chained back here.
+
+        With causal tracing on, the bind mints (or continues) a
+        context; every chain the outer server later relays to this
+        listener becomes a child of it.
+        """
+        if tctx is None and _trace.ENABLED:
+            tctx = _trace.current()
+            tctx = _trace.child(tctx) if tctx is not None else _trace.mint("bind")
         if not self.enabled:
             raise NXProxyError("NXProxyBind: no outer server configured")
         if self.inner_addr is None:
@@ -164,6 +198,8 @@ class AioProxyClient:
         }
         if self.secret is not None:
             request["secret"] = self.secret
+        if tctx is not None:
+            request["tctx"] = tctx.to_wire()
         write_control(writer, request)
         await writer.drain()
         try:
@@ -176,6 +212,12 @@ class AioProxyClient:
             writer.close()
             local_server.close()
             raise NXProxyError(f"NXProxyBind: {reply.get('error', 'refused')}")
+        if tctx is not None:
+            rec = _obs.RECORDER
+            if rec is not None:
+                rec.wall_instant("nxproxy", "bind", track="client",
+                                 local=f"{self.local_host}:{local_port}",
+                                 **_trace.span_args(tctx))
         return AioProxiedListener(
             local_server, writer, reply["proxy_host"], reply["proxy_port"], queue
         )

@@ -60,6 +60,7 @@ from repro.core.aio.pump import (
     tune_stream,
 )
 from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.aio.relay import AioRelayStats
@@ -134,6 +135,9 @@ class MuxChain:
         self.open_reply: Optional[asyncio.Future] = None
         #: Bytes sent + received over this chain (stats).
         self.bytes_moved = 0
+        #: Causal trace context (wire form) this chain belongs to, when
+        #: the OPEN carried one; stamps chain-lifecycle spans.
+        self.tctx: Optional[str] = None
 
     # -- outbound -----------------------------------------------------------
 
@@ -150,8 +154,11 @@ class MuxChain:
                     self._window_ok.clear()
                     await self._window_ok.wait()
                 if rec is not None:
-                    rec.wall_span_end("mux", "window_stall", t0,
-                                      track=f"chain:{self.chain_id}")
+                    rec.wall_span_end(
+                        "mux", "window_stall", t0,
+                        track=f"chain:{self.chain_id}",
+                        **_trace.wire_args(self.tctx),
+                    )
             if self._reset is not None:
                 raise ChainReset(str(self._reset))
             n = min(view.nbytes, self._send_window)
@@ -319,10 +326,19 @@ async def _run_chain_pumps(
             with contextlib.suppress(Exception):
                 sock_writer.write_eof()
 
+    rec = _obs.RECORDER
+    t0 = rec.wall_ts() if rec is not None else 0.0
     try:
         await asyncio.gather(sock_to_chain(), chain_to_sock())
     finally:
         stats.chain_bytes.record(chain.bytes_moved)
+        # Chain-lifecycle span closed in ``finally`` so an aborted
+        # chain (link drop, RST) never leaks an open span.
+        if rec is not None:
+            rec.wall_span_end(
+                "mux", "chain", t0, track=f"chain:{chain.chain_id}",
+                bytes=chain.bytes_moved, **_trace.wire_args(chain.tctx),
+            )
         with contextlib.suppress(Exception):
             sock_writer.close()
 
@@ -458,18 +474,30 @@ class MuxConnector:
 
     # -- chain establishment ------------------------------------------------
 
-    async def open_chain(self, host: str, port: int) -> "tuple[MuxChain, _MuxSession]":
+    async def open_chain(
+        self, host: str, port: int, tctx: Optional[str] = None
+    ) -> "tuple[MuxChain, _MuxSession]":
         """OPEN a new chain toward the firewalled client at
-        ``host:port``; returns when the inner server confirmed."""
+        ``host:port``; returns when the inner server confirmed.
+
+        ``tctx`` (wire form) rides the OPEN payload as an extra JSON
+        key; untagged peers simply never send it, and seed-era inner
+        servers ignore unknown keys — version-sniffed compatibility
+        for free.
+        """
         loop = asyncio.get_running_loop()
         t0 = loop.time()
         session = await self._current_session()
         chain_id = self._next_chain_id
         self._next_chain_id += 1
         chain = MuxChain(session, chain_id, self.window)
+        chain.tctx = tctx
         chain.open_reply = loop.create_future()
         session.chains[chain_id] = chain
-        payload = json.dumps({"host": host, "port": port}).encode()
+        open_req = {"host": host, "port": port}
+        if tctx is not None:
+            open_req["tctx"] = tctx
+        payload = json.dumps(open_req).encode()
         session.send_frame(chain_id, FrameType.OPEN, payload)
         await session.writer.drain()
         try:
@@ -488,10 +516,11 @@ class MuxConnector:
         port: int,
         sock_reader: asyncio.StreamReader,
         sock_writer: asyncio.StreamWriter,
+        tctx: Optional[str] = None,
     ) -> None:
         """Establish a chain and bridge it to an accepted peer socket
         until both directions finish."""
-        chain, session = await self.open_chain(host, port)
+        chain, session = await self.open_chain(host, port, tctx=tctx)
         self.stats.passive_chains += 1
         try:
             await _run_chain_pumps(
@@ -537,6 +566,15 @@ async def serve_mux_session(
         tune_stream(onward_w)
         stats.passive_chains += 1
         chain = session.chains[chain_id]
+        # Optional causal trace tag; absent from seed-era peers.
+        wire = req.get("tctx")
+        if isinstance(wire, str):
+            chain.tctx = wire
+            ctx = _trace.accept(wire)
+            rec = _obs.RECORDER
+            if rec is not None and ctx is not None:
+                rec.wall_instant("mux", "chain_open", track=f"chain:{chain_id}",
+                                 dest=f"{host}:{port}", **_trace.span_args(ctx))
         session.send_frame(chain_id, FrameType.OPEN_OK)
         try:
             await _run_chain_pumps(chain, onward_r, onward_w, stats, chunk)

@@ -51,6 +51,7 @@ from repro.core.aio.pump import (
     tune_stream,
 )
 from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 from repro.obs.metrics import LogHistogram
 
 __all__ = [
@@ -344,10 +345,12 @@ class AioOuterServer(_Server):
         self.stats.active_connects += 1
         write_control(writer, ok_reply())
         await writer.drain()
+        ctx = _trace.accept(msg.get("tctx"))
         rec = _obs.RECORDER
         if rec is not None:
             with rec.wall_span("relay", "active_chain", track=f"outer:{self.host}",
-                               dest=f"{msg['host']}:{msg['port']}"):
+                               dest=f"{msg['host']}:{msg['port']}",
+                               **_trace.span_args(ctx)):
                 await _relay_pair(
                     reader, writer, onward_r, onward_w, self.stats, self.chunk,
                     self.pump_mode,
@@ -371,6 +374,17 @@ class AioOuterServer(_Server):
                 await writer.drain()
             writer.close()
             return
+        bind_ctx = _trace.accept(msg.get("tctx"))
+        if bind_ctx is not None:
+            rec = _obs.RECORDER
+            if rec is not None:
+                # Anchor the bind's span id so every chain's parent
+                # link resolves in an assembled trace.
+                rec.wall_instant(
+                    "relay", "passive_bind", track=f"outer:{self.host}",
+                    client=f"{msg['client_host']}:{msg['client_port']}",
+                    **_trace.span_args(bind_ctx),
+                )
 
         async def on_peer(pr: asyncio.StreamReader, pw: asyncio.StreamWriter) -> None:
             try:
@@ -389,15 +403,20 @@ class AioOuterServer(_Server):
         async def _chain_peer_mux(pr, pw) -> None:
             """One logical chain over the shared nxport link."""
             link = self.mux_link(inner_host, inner_port)
+            chain_ctx = _trace.child(bind_ctx)
+            wire = chain_ctx.to_wire() if chain_ctx is not None else None
             rec = _obs.RECORDER
             try:
                 if rec is not None:
                     with rec.wall_span("relay", "passive_chain",
                                        track=f"outer:{self.host}",
-                                       client=f"{client_host}:{client_port}"):
-                        await link.relay_chain(client_host, client_port, pr, pw)
+                                       client=f"{client_host}:{client_port}",
+                                       **_trace.span_args(chain_ctx)):
+                        await link.relay_chain(client_host, client_port, pr, pw,
+                                               tctx=wire)
                     return
-                await link.relay_chain(client_host, client_port, pr, pw)
+                await link.relay_chain(client_host, client_port, pr, pw,
+                                       tctx=wire)
             except (ChainReset, ConnectionError, OSError, asyncio.TimeoutError) as exc:
                 self.stats.failed_requests += 1
                 log.warning("mux passive chain failed: %s", exc)
@@ -406,13 +425,17 @@ class AioOuterServer(_Server):
 
         async def _chain_peer_legacy(pr, pw) -> None:
             """Seed behaviour: fresh nxport connection per chain."""
+            chain_ctx = _trace.child(bind_ctx)
             try:
                 ir, iw = await asyncio.open_connection(
                     inner_host, inner_port, limit=self.stream_limit
                 )
                 self.tune(iw)
-                write_control(iw, {"op": "relayto", "host": client_host,
-                                   "port": client_port})
+                relayto = {"op": "relayto", "host": client_host,
+                           "port": client_port}
+                if chain_ctx is not None:
+                    relayto["tctx"] = chain_ctx.to_wire()
+                write_control(iw, relayto)
                 await iw.drain()
                 reply = await read_control(ir)
                 if not reply.get("ok"):
@@ -423,6 +446,15 @@ class AioOuterServer(_Server):
                 pw.close()
                 return
             self.stats.passive_chains += 1
+            rec = _obs.RECORDER
+            if rec is not None:
+                with rec.wall_span("relay", "passive_chain",
+                                   track=f"outer:{self.host}",
+                                   client=f"{client_host}:{client_port}",
+                                   **_trace.span_args(chain_ctx)):
+                    await _relay_pair(pr, pw, ir, iw, self.stats, self.chunk,
+                                      self.pump_mode)
+                return
             await _relay_pair(pr, pw, ir, iw, self.stats, self.chunk, self.pump_mode)
 
         public = await asyncio.start_server(
@@ -545,6 +577,12 @@ class AioInnerServer(_Server):
         self.stats.passive_chains += 1
         write_control(writer, ok_reply())
         await writer.drain()
+        ctx = _trace.accept(msg.get("tctx"))
+        rec = _obs.RECORDER
+        if rec is not None and ctx is not None:
+            rec.wall_instant("relay", "legacy_chain", track=f"inner:{self.host}",
+                             dest=f"{msg['host']}:{msg['port']}",
+                             **_trace.span_args(ctx))
         await _relay_pair(
             reader, writer, onward_r, onward_w, self.stats, self.chunk, self.pump_mode
         )

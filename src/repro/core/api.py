@@ -31,6 +31,8 @@ from typing import Iterator, Optional
 
 from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
 from repro.core.frames import FramedConnection
+from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 from repro.core.protocol import (
     CONTROL_MSG_BYTES,
     BindReply,
@@ -130,10 +132,18 @@ class NexusProxyClient:
         self,
         dest: "Address | tuple[str, int]",
         timeout: Optional[float] = None,
+        tctx: "Optional[_trace.TraceContext]" = None,
     ) -> Iterator[Event]:
         """Generator (``NXProxyConnect``): connect to ``dest`` through
-        the outer server (Fig. 3), or directly when not configured."""
+        the outer server (Fig. 3), or directly when not configured.
+
+        ``tctx`` joins this open to an existing causal trace; when
+        omitted and tracing is on, the open is itself an origin and
+        mints a fresh trace.
+        """
         dest = _as_addr(dest)
+        if tctx is None and _trace.ENABLED:
+            tctx = _trace.mint("connect")
         if not self.enabled:
             conn = yield from self.host.connect(dest, timeout=timeout)
             return FramedConnection(conn, self.config.chunk_bytes)
@@ -146,9 +156,13 @@ class NexusProxyClient:
             # extra traversal — connect straight to the public port.
             conn = yield from self.host.connect(dest, timeout=timeout)
             return FramedConnection(conn, self.config.chunk_bytes)
+        t0 = self.sim.now
         control = yield from self.host.connect(self.outer_addr, timeout=timeout)
         yield control.send(
-            ConnectRequest(dest.host, dest.port, secret=self.config.secret),
+            ConnectRequest(
+                dest.host, dest.port, secret=self.config.secret,
+                tctx=tctx.to_wire() if tctx is not None else None,
+            ),
             nbytes=CONTROL_MSG_BYTES,
         )
         try:
@@ -157,6 +171,14 @@ class NexusProxyClient:
             raise NXProxyError(f"outer server dropped connect request to {dest}")
         reply: Reply = reply_msg.payload
         reply.raise_for_error(f"NXProxyConnect({dest})")
+        if tctx is not None:
+            rec = _obs.RECORDER
+            if rec is not None:
+                rec.sim_span(
+                    "nxproxy", "connect", t0, self.sim.now,
+                    track=self.host.name, dest=str(dest),
+                    **_trace.span_args(tctx),
+                )
         return FramedConnection(control, self.config.chunk_bytes)
 
     # Table 1 spelling.
@@ -164,7 +186,11 @@ class NexusProxyClient:
 
     # -- passive open ----------------------------------------------------------
 
-    def bind(self, timeout: Optional[float] = None) -> Iterator[Event]:
+    def bind(
+        self,
+        timeout: Optional[float] = None,
+        tctx: "Optional[_trace.TraceContext]" = None,
+    ) -> Iterator[Event]:
         """Generator (``NXProxyBind``): returns a
         :class:`ProxiedListener` whose ``proxy_addr`` peers connect to.
 
@@ -172,6 +198,9 @@ class NexusProxyClient:
         listener-like object whose public and private addresses
         coincide.
         """
+        if tctx is None and _trace.ENABLED:
+            tctx = _trace.mint("bind")
+        t0 = self.sim.now
         local_sock = self.host.listen()
         if not self.enabled:
             return DirectListener(local_sock, self.config.chunk_bytes)
@@ -190,6 +219,7 @@ class NexusProxyClient:
                 inner_host=self.inner_addr.host,
                 inner_port=self.inner_addr.port,
                 secret=self.config.secret,
+                tctx=tctx.to_wire() if tctx is not None else None,
             ),
             nbytes=CONTROL_MSG_BYTES,
         )
@@ -203,6 +233,16 @@ class NexusProxyClient:
             local_sock.close()
             control.close()
         reply.raise_for_error("NXProxyBind")
+        if tctx is not None:
+            rec = _obs.RECORDER
+            if rec is not None:
+                # Anchor the bind origin so the relay's hop links
+                # resolve when the trace is assembled.
+                rec.sim_instant(
+                    "nxproxy", "bind", t0, track=self.host.name,
+                    proxy=f"{reply.proxy_host}:{reply.proxy_port}",
+                    **_trace.span_args(tctx),
+                )
         return ProxiedListener(
             self.config.chunk_bytes,
             local_sock,

@@ -57,6 +57,11 @@ class DataFrame:
     chunk_bytes: int
     total_bytes: int
     payload: Any = None
+    #: Optional causal trace context (wire form).  Stamped on every
+    #: frame of a tagged message so relays can attribute forwarded
+    #: bytes per trace without looking at the payload; ``None`` (the
+    #: seed wire format) everywhere else.
+    tctx: Optional[str] = None
 
     @property
     def is_last(self) -> bool:
@@ -109,20 +114,37 @@ class FramedConnection:
 
     # -- sending ------------------------------------------------------------
 
-    def send(self, payload: Any, nbytes: Optional[int] = None) -> Process:
-        """Send one message as a train of chunk frames."""
+    def send(
+        self,
+        payload: Any,
+        nbytes: Optional[int] = None,
+        tctx: Optional[str] = None,
+    ) -> Process:
+        """Send one message as a train of chunk frames.
+
+        ``tctx`` tags every frame with a causal trace context; when
+        omitted and tracing is on, it is sniffed from the payload's
+        own ``tctx`` attribute (MPI envelopes, control requests).
+        """
         if nbytes is None:
             from repro.simnet.socket import wire_size
 
             nbytes = wire_size(payload, self.conn.network.config.default_msg_bytes)
         if nbytes <= 0:
             raise FrameError(f"message size must be positive, got {nbytes}")
+        if tctx is None:
+            from repro.obs import trace as _trace
+
+            if _trace.ENABLED:
+                tctx = getattr(payload, "tctx", None)
         return self.sim.process(
-            self._send_proc(payload, nbytes),
+            self._send_proc(payload, nbytes, tctx),
             name=f"framed-send->{self.remote_addr}",
         )
 
-    def _send_proc(self, payload: Any, nbytes: int) -> Iterator[Event]:
+    def _send_proc(
+        self, payload: Any, nbytes: int, tctx: Optional[str] = None
+    ) -> Iterator[Event]:
         self._send_seq += 1
         seq = self._send_seq
         count = max(1, -(-nbytes // self.chunk_bytes))
@@ -138,6 +160,7 @@ class FramedConnection:
                 chunk_bytes=chunk,
                 total_bytes=nbytes,
                 payload=payload if index == count - 1 else None,
+                tctx=tctx,
             )
             yield self.conn.send(frame, nbytes=frame.wire_bytes)
         self.messages_sent += 1

@@ -20,6 +20,7 @@ from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
 from repro.core.outer import RelayStats
 from repro.core.pump import relay_pump
 from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 from repro.core.protocol import REPLY_MSG_BYTES, Reply, RelayTo
 from repro.simnet.host import Host
 from repro.simnet.kernel import Event, Process
@@ -127,11 +128,13 @@ class InnerServer:
         self.stats.passive_chains += 1
         yield conn.send(Reply(ok=True), nbytes=REPLY_MSG_BYTES)
         self.stats.chain_setup_us.record(int((self.sim.now - t0) * 1e6))
+        ctx = _trace.accept(request.tctx)
         rec = _obs.RECORDER
         if rec is not None:
             rec.sim_span("relay", "chain_setup", t0, self.sim.now,
                          track=f"inner:{self.host.name}", kind="passive",
-                         dest=f"{request.dest_host}:{request.dest_port}")
+                         dest=f"{request.dest_host}:{request.dest_port}",
+                         **_trace.span_args(ctx))
         self.sim.process(self._pump(conn, onward), name=f"pump@{self.host.name}")
         self.sim.process(self._pump(onward, conn), name=f"pump@{self.host.name}")
 

@@ -26,6 +26,7 @@ from typing import Iterator, Optional
 from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
 from repro.core.pump import relay_pump
 from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 from repro.obs.metrics import LogHistogram
 from repro.core.protocol import (
     CONTROL_MSG_BYTES,
@@ -116,12 +117,16 @@ class _BindRegistration:
         inner_host: str,
         inner_port: int,
         public_sock: ListenSocket,
+        tctx: "Optional[_trace.TraceContext]" = None,
     ) -> None:
         self.client_host = client_host
         self.client_port = client_port
         self.inner_host = inner_host
         self.inner_port = inner_port
         self.public_sock = public_sock
+        #: Trace context adopted from the bind request; chains through
+        #: this registration parent to it.
+        self.tctx = tctx
 
 
 class OuterServer:
@@ -221,11 +226,13 @@ class OuterServer:
         self.stats.active_connects += 1
         yield conn.send(Reply(ok=True), nbytes=REPLY_MSG_BYTES)
         self.stats.chain_setup_us.record(int((self.sim.now - t0) * 1e6))
+        ctx = _trace.accept(req.tctx)
         rec = _obs.RECORDER
         if rec is not None:
             rec.sim_span("relay", "chain_setup", t0, self.sim.now,
                          track=f"outer:{self.host.name}", kind="active",
-                         dest=f"{req.dest_host}:{req.dest_port}")
+                         dest=f"{req.dest_host}:{req.dest_port}",
+                         **_trace.span_args(ctx))
         self._start_pumps(conn, onward)
 
     # -- passive open (Fig. 4) ----------------------------------------------------
@@ -244,7 +251,7 @@ class OuterServer:
             return
         reg = _BindRegistration(
             req.client_host, req.client_port, req.inner_host, req.inner_port,
-            public_sock,
+            public_sock, tctx=_trace.accept(req.tctx),
         )
         self.bind_registrations.append(reg)
         self.stats.passive_binds += 1
@@ -253,7 +260,8 @@ class OuterServer:
             rec.sim_instant("relay", "bind", self.sim.now,
                             track=f"outer:{self.host.name}",
                             public_port=public_sock.port,
-                            client=f"{req.client_host}:{req.client_port}")
+                            client=f"{req.client_host}:{req.client_port}",
+                            **_trace.span_args(reg.tctx))
         yield conn.send(
             BindReply(ok=True, proxy_host=self.host.name, proxy_port=public_sock.port),
             nbytes=REPLY_MSG_BYTES,
@@ -293,6 +301,7 @@ class OuterServer:
     def _passive_chain(self, peer: Connection, reg: _BindRegistration) -> Iterator[Event]:
         """peer → outer → inner → client (Fig. 4 steps 4-1, 4-2)."""
         t0 = self.sim.now
+        chain_ctx = _trace.child(reg.tctx)
         yield from self.host.execute(self.config.request_cpu)
         try:
             inner = yield from self.host.connect((reg.inner_host, reg.inner_port))
@@ -301,7 +310,11 @@ class OuterServer:
             peer.close()
             return
         yield inner.send(
-            RelayTo(reg.client_host, reg.client_port), nbytes=CONTROL_MSG_BYTES
+            RelayTo(
+                reg.client_host, reg.client_port,
+                tctx=chain_ctx.to_wire() if chain_ctx is not None else None,
+            ),
+            nbytes=CONTROL_MSG_BYTES,
         )
         try:
             reply_msg = yield inner.recv()
@@ -321,7 +334,8 @@ class OuterServer:
         if rec is not None:
             rec.sim_span("relay", "chain_setup", t0, self.sim.now,
                          track=f"outer:{self.host.name}", kind="passive",
-                         client=f"{reg.client_host}:{reg.client_port}")
+                         client=f"{reg.client_host}:{reg.client_port}",
+                         **_trace.span_args(chain_ctx))
         self._start_pumps(peer, inner)
 
     # -- data plane -----------------------------------------------------------------

@@ -53,6 +53,9 @@ class ConnectRequest:
     dest_port: int
     #: Shared secret, when the deployment requires one.
     secret: Optional[str] = None
+    #: Optional causal trace context (wire form); ``None`` from
+    #: untagged (seed) peers — servers must treat both alike.
+    tctx: Optional[str] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,6 +73,8 @@ class BindRequest:
     inner_port: int
     #: Shared secret, when the deployment requires one.
     secret: Optional[str] = None
+    #: Optional causal trace context (wire form).
+    tctx: Optional[str] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +84,9 @@ class RelayTo:
 
     dest_host: str
     dest_port: int
+    #: Optional causal trace context (wire form), forwarded from the
+    #: bind-time chain so the inner hop joins the same tree.
+    tctx: Optional[str] = None
 
 
 @dataclass(frozen=True, slots=True)

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 from repro.simnet.host import Host
 from repro.simnet.kernel import Event
 from repro.simnet.socket import Connection, ConnectionReset
@@ -110,6 +111,19 @@ def relay_pump(
         stats.chunk_bytes.record(batch_bytes)
         pump_frames += len(batch)
         pump_bytes += batch_bytes
+        if _trace.ENABLED:
+            # Per-trace byte attribution: which job's traffic paid
+            # this relay hop.  Tagged frames only exist when causal
+            # tracing is on, so untagged runs never take this branch.
+            rec = _obs.RECORDER
+            if rec is not None:
+                for m in batch:
+                    wire = getattr(m.payload, "tctx", None)
+                    if wire is not None:
+                        rec.count_pair(
+                            "relay.trace_bytes",
+                            wire.split("/", 1)[0], m.nbytes,
+                        )
         if dst.closed:
             src.close()
             _finish()

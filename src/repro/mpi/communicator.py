@@ -19,6 +19,7 @@ from typing import Any, Iterator, Optional
 
 from repro.mpi.errors import MPIError
 from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, ENVELOPE_BYTES, Envelope, Status
 from repro.nexus.context import NexusContext
 from repro.nexus.endpoint import Endpoint
@@ -55,6 +56,10 @@ class Communicator:
         #: Collective-call sequence number (all ranks call collectives
         #: in the same order, so this tags matching rounds).
         self._coll_seq = 0
+        #: Causal trace context stamped onto every outgoing envelope
+        #: while set (the sim plane threads contexts explicitly — one
+        #: rank, one communicator, so an attribute is race-free here).
+        self.trace_ctx: "Optional[_trace.TraceContext]" = None
 
     # -- identity ----------------------------------------------------------
 
@@ -126,14 +131,19 @@ class Communicator:
     ) -> Iterator[Event]:
         if nbytes is None:
             nbytes = 64
+        wire_ctx = None
+        if _trace.ENABLED and self.trace_ctx is not None:
+            wire_ctx = self.trace_ctx.to_wire()
         if dest == self.rank:
             # Self-send: bypass the network, preserve matching order.
-            env = Envelope(self.rank, tag, payload, nbytes, self.sim.now)
+            env = Envelope(self.rank, tag, payload, nbytes, self.sim.now,
+                           tctx=wire_ctx)
             yield self.sim.timeout(0)
             self._deliver_local(env)
         else:
             sp = self.context.startpoint(self._rank_addrs[dest])
-            env = Envelope(self.rank, tag, payload, nbytes, self.sim.now)
+            env = Envelope(self.rank, tag, payload, nbytes, self.sim.now,
+                           tctx=wire_ctx)
             yield from sp.send(env, nbytes=nbytes + ENVELOPE_BYTES)
         self.messages_sent += 1
         self.bytes_sent += nbytes
@@ -142,6 +152,10 @@ class Communicator:
             pair = f"{self.rank}->{dest}"
             rec.count_pair("mpi.messages", pair)
             rec.count_pair("mpi.bytes", pair, nbytes)
+            if wire_ctx is not None:
+                rec.count_pair(
+                    "mpi.trace_bytes", self.trace_ctx.trace_id, nbytes
+                )
 
     def _deliver_local(self, env: Envelope) -> None:
         self.messages_received += 1
@@ -172,7 +186,8 @@ class Communicator:
             ev = self.sim.event()
             self._waiters.append((source, tag, ev))
             env = yield ev
-        status = Status(env.source, env.tag, env.nbytes, self.sim.now)
+        status = Status(env.source, env.tag, env.nbytes, self.sim.now,
+                        tctx=env.tctx)
         return env.payload, status
 
     def _match_pending(self, source: int, tag: int) -> Optional[Envelope]:

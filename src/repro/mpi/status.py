@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Status", "Envelope"]
 
@@ -25,6 +25,8 @@ class Envelope:
     payload: Any
     nbytes: int
     sent_at: float
+    #: Optional causal trace context (wire form) stamped by the sender.
+    tctx: Optional[str] = None
 
     def matches(self, source: int, tag: int) -> bool:
         return (source == ANY_SOURCE or source == self.source) and (
@@ -40,3 +42,5 @@ class Status:
     tag: int
     nbytes: int
     received_at: float
+    #: Sender's causal trace context (wire form), when it sent one.
+    tctx: Optional[str] = None

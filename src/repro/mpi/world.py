@@ -15,6 +15,7 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.core.config import DEFAULT_RELAY_CONFIG, RelayConfig
 from repro.mpi.communicator import Communicator
+from repro.obs import trace as _trace
 from repro.mpi.errors import MPIError
 from repro.nexus.context import NexusContext
 from repro.simnet.host import Host
@@ -124,8 +125,17 @@ class MPIWorld:
 
     def launch(self, main: RankMain, *args: Any) -> Iterator[Event]:
         """Generator: initialize, run ``main(comm, *args)`` on every
-        rank concurrently, finalize, and return per-rank results."""
+        rank concurrently, finalize, and return per-rank results.
+
+        With causal tracing on, the launch is an origin: one trace
+        covers the job, and each rank gets a per-rank child context on
+        ``comm.trace_ctx`` so every message it sends is attributable.
+        """
         comms = yield from self.initialize()
+        job_ctx = _trace.mint("mpirun") if _trace.ENABLED else None
+        if job_ctx is not None:
+            for comm in comms:
+                comm.trace_ctx = _trace.child(job_ctx)
         procs: list[Process] = [
             self.sim.process(main(comm, *args), name=f"rank[{comm.rank}]")
             for comm in comms

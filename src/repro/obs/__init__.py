@@ -18,6 +18,7 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_artifacts,
 )
+from repro.obs.trace import TraceContext, span_args
 
 __all__ = [
     "Counter",
@@ -36,4 +37,6 @@ __all__ = [
     "diff_summaries",
     "validate_chrome_trace",
     "write_artifacts",
+    "TraceContext",
+    "span_args",
 ]

@@ -1,0 +1,130 @@
+"""Stitch per-process Chrome traces into one causal trace.
+
+A traced run produces one ``*.trace.json`` per process (the simulated
+driver plus each relay daemon).  Each file is internally consistent but
+knows nothing of the others — what connects them is the trace-context
+args (``trace``/``span``/``parent``) that
+:mod:`repro.obs.trace` stamped onto the spans at every hop.
+
+:func:`assemble` merges N such files into a single Chrome trace:
+
+* Every input file becomes its own block of Chrome *processes* (pids
+  are remapped to ``file_index * PID_STRIDE + original``), so Perfetto
+  shows one track group per process per clock domain and the
+  unsynchronised wall clocks never overlay.
+* Every ``parent`` arg whose span id was recorded by *any* event in
+  *any* file becomes a flow-event pair — ``ph:"s"`` at the parent's
+  event, ``ph:"f"`` (``bp:"e"``) at the child's — which Perfetto draws
+  as arrows between processes: the causal chain of one relayed
+  connection or one RMF job, hop by hop.
+
+The output carries the standard :data:`~repro.obs.export.CHROME_FORMAT_TAG`
+(flow phases are part of the schema), plus an ``otherData.assembled``
+section with per-trace-id hop counts and the number of unresolved
+parent links, so tests and humans can check the tree actually closed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.export import CHROME_FORMAT_TAG
+
+__all__ = ["PID_STRIDE", "assemble"]
+
+#: Pid-remap stride per input file; original pids are 1 (sim) and
+#: 2 (wall), so a stride of 10 keeps every remapped pid unique and
+#: human-decodable (file 2's wall clock = pid 22).
+PID_STRIDE = 10
+
+#: Category given to synthesized flow events.
+FLOW_CAT = "traceflow"
+
+
+def assemble(
+    traces: "list[tuple[str, dict[str, Any]]]",
+) -> "dict[str, Any]":
+    """Merge ``(label, chrome_trace_obj)`` pairs into one Chrome trace
+    with flow events linking causally-related spans across files."""
+    events_out: list[dict[str, Any]] = []
+    #: span id → (pid, tid, ts) of the event that *owns* it (args.span).
+    anchors: dict[str, tuple[int, int, float]] = {}
+    tagged: list[dict[str, Any]] = []
+    labels: list[str] = []
+
+    for index, (label, obj) in enumerate(traces):
+        labels.append(label)
+        base = (index + 1) * PID_STRIDE
+        for ev in obj.get("traceEvents", []):
+            if not isinstance(ev, dict):
+                continue
+            ev = dict(ev)
+            pid = ev.get("pid")
+            ev["pid"] = base + pid if isinstance(pid, int) else base
+            if ev.get("ph") == "M":
+                if ev.get("name") == "process_name":
+                    args = dict(ev.get("args", {}))
+                    args["name"] = f"{label}: {args.get('name', '')}"
+                    ev["args"] = args
+                events_out.append(ev)
+                continue
+            events_out.append(ev)
+            args = ev.get("args")
+            if not isinstance(args, dict) or "trace" not in args:
+                continue
+            span = args.get("span")
+            if isinstance(span, str) and span not in anchors:
+                anchors[span] = (
+                    ev["pid"], ev.get("tid", 0), ev.get("ts", 0.0)
+                )
+            tagged.append(ev)
+
+    # Second pass: one flow arrow per resolvable parent link.
+    flow_id = 0
+    unresolved = 0
+    hops: dict[str, int] = {}
+    for ev in tagged:
+        args = ev["args"]
+        trace_id = args["trace"]
+        if isinstance(trace_id, str):
+            hops[trace_id] = hops.get(trace_id, 0) + 1
+        parent = args.get("parent")
+        if not isinstance(parent, str):
+            continue
+        anchor = anchors.get(parent)
+        if anchor is None:
+            unresolved += 1
+            continue
+        flow_id += 1
+        ppid, ptid, pts = anchor
+        name = trace_id if isinstance(trace_id, str) else "trace"
+        events_out.append({
+            "ph": "s", "id": flow_id, "pid": ppid, "tid": ptid,
+            "ts": pts, "cat": FLOW_CAT, "name": name,
+        })
+        events_out.append({
+            "ph": "f", "bp": "e", "id": flow_id, "pid": ev["pid"],
+            "tid": ev.get("tid", 0), "ts": ev.get("ts", 0.0),
+            "cat": FLOW_CAT, "name": name,
+        })
+
+    registries = {
+        label: obj.get("otherData", {}).get("registry", {})
+        for label, obj in traces
+        if isinstance(obj.get("otherData"), dict)
+    }
+    return {
+        "traceEvents": events_out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": CHROME_FORMAT_TAG,
+            "registry": {},
+            "registries": registries,
+            "assembled": {
+                "files": labels,
+                "flows": flow_id,
+                "unresolved_parents": unresolved,
+                "traces": dict(sorted(hops.items())),
+            },
+        },
+    }

@@ -215,7 +215,7 @@ def validate_chrome_trace(obj: Any) -> "list[str]":
         errors.append(f"otherData.format: expected {CHROME_FORMAT_TAG!r}")
     elif not isinstance(other.get("registry"), dict):
         errors.append("otherData.registry: expected object")
-    valid_ph = {"X", "i", "C", "M"}
+    valid_ph = {"X", "i", "C", "M", "s", "f"}
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -236,6 +236,13 @@ def validate_chrome_trace(obj: Any) -> "list[str]":
             errors.append(f"{where}.cat: expected string")
         if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
             errors.append(f"{where}.dur: expected number")
+        if ph in ("s", "f"):
+            # Flow events (assembled causal links) must carry an id to
+            # pair the start with its binding end.
+            if not isinstance(ev.get("id"), (int, str)):
+                errors.append(f"{where}.id: flow event needs an id")
+            if ph == "f" and ev.get("bp") != "e":
+                errors.append(f"{where}.bp: flow end must bind enclosing ('e')")
         if len(errors) > 20:
             errors.append("... (truncated)")
             break

@@ -172,6 +172,57 @@ class MetricsRegistry:
     def unregister_collector(self, prefix: str) -> None:
         self._collectors.pop(prefix, None)
 
+    # -- merging ----------------------------------------------------------
+
+    @staticmethod
+    def _is_hist_dict(value: "dict[str, Any]") -> bool:
+        return bool(value) and all(
+            isinstance(k, str) and k.startswith("<=") for k in value
+        )
+
+    def absorb(self, snapshot: "dict[str, Any]", prefix: str = "") -> None:
+        """Deep-merge a plain ``snapshot()`` dict into this registry's
+        native metrics — the parent-side half of cross-process metric
+        collection (``fan_out(..., profile=True)`` workers ship their
+        registry snapshots home through the executor).
+
+        Merge rules, keyed by the snapshot leaf shape: ints add into
+        counters, floats add into gauges, ``{"<=N": count}`` dicts merge
+        into histograms, flat str→int dicts add into ``counter2d``
+        families, and any other nested dict recurses with a dotted
+        prefix (so a collector's snapshot lands as native metrics under
+        its prefix — collectors themselves cannot cross processes).
+        """
+        for key in sorted(snapshot):
+            value = snapshot[key]
+            name = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, int):
+                self.counter(name).inc(value)
+            elif isinstance(value, float):
+                self.gauge(name).add(value)
+            elif isinstance(value, dict):
+                if self._is_hist_dict(value):
+                    hist = self.histogram(name)
+                    for bound, count in value.items():
+                        try:
+                            upper = int(bound[2:])
+                            n = int(count)
+                        except (ValueError, TypeError):
+                            continue
+                        idx = min(upper.bit_length(), LogHistogram.NBUCKETS - 1)
+                        hist.counts[idx] += n
+                elif value and all(
+                    isinstance(v, int) and not isinstance(v, bool)
+                    for v in value.values()
+                ):
+                    for k, v in value.items():
+                        self.counter2d(name, str(k)).inc(v)
+                else:
+                    self.absorb(value, prefix=name)
+            # Strings and other leaf types carry no mergeable quantity.
+
     # -- reading ----------------------------------------------------------
 
     def snapshot(self) -> "dict[str, Any]":

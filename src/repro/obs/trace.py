@@ -1,0 +1,198 @@
+"""Cross-process causal trace contexts.
+
+A :class:`TraceContext` names one node of a causal tree that can span
+N processes: the simulated driver, the asyncio relay daemons, and any
+subprocess in between.  It is minted at an *origin* (a knapsack driver
+operation, an RMF ``submit``, an ``NXProxyConnect``), carried in-band
+as an optional field on existing wire messages (JSON control lines,
+NXMUX/1 OPEN payloads, MPI envelopes, simnet messages), and stamped
+into span ``args`` wherever the hop is recorded — which is what lets
+``repro-obs assemble`` stitch per-process Chrome traces into one tree
+with flow events connecting the hops.
+
+Determinism contract
+--------------------
+
+Causal tracing has its own switch (:func:`enable`/:func:`disable`),
+separate from the span recorder, and is **off by default**.  When off,
+:func:`mint` returns ``None`` and :func:`span_args` returns ``{}``, so
+instrumented code emits byte-identical spans to a build that has never
+heard of trace contexts — extending PR 3's byte-stability guarantee.
+When on, ids come from plain per-process counters (no randomness, no
+wall clock), prefixed with a per-process *site* label so ids minted by
+different processes never collide: a rerun of the same program mints
+the same ids in the same order.
+
+The sim plane (one thread, interleaved generator processes) must
+thread contexts *explicitly* through message fields — an ambient
+variable would leak between simulated ranks.  The asyncio plane is
+task-per-connection, where ambient context is safe; :func:`current`
+/ :func:`set_current` wrap a :mod:`contextvars` variable for it.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = [
+    "TraceContext",
+    "ENABLED",
+    "enable",
+    "disable",
+    "site",
+    "mint",
+    "child",
+    "accept",
+    "span_args",
+    "wire_args",
+    "current",
+    "set_current",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """One node of a causal tree.
+
+    ``trace_id`` names the tree (shared by every hop of one logical
+    operation); ``span_id`` names this hop; ``parent_id`` is the hop
+    that caused it (``None`` at the origin).  ``flags`` is reserved
+    for sampling decisions (bit 0 = sampled).
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    flags: int = 1
+
+    def to_wire(self) -> str:
+        """Compact wire form: ``trace_id/span_id/flags``."""
+        return f"{self.trace_id}/{self.span_id}/{self.flags:x}"
+
+    @staticmethod
+    def from_wire(wire: Any) -> "Optional[TraceContext]":
+        """Parse a wire form; tolerant — anything malformed is ``None``
+        (an untagged seed peer must never crash a tagging one)."""
+        if not isinstance(wire, str):
+            return None
+        parts = wire.split("/")
+        if len(parts) != 3 or not parts[0] or not parts[1]:
+            return None
+        try:
+            flags = int(parts[2], 16)
+        except ValueError:
+            return None
+        return TraceContext(parts[0], parts[1], None, flags)
+
+
+#: Whether causal tracing is on for this process.  Off by default:
+#: the byte-stability tests compare traces recorded with this off.
+ENABLED = False
+
+_SITE = ""
+_trace_seq = 0
+_span_seq = 0
+
+#: Ambient context for the asyncio plane (task-scoped; never used by
+#: the sim plane, which threads contexts through message fields).
+_CURRENT: "contextvars.ContextVar[Optional[TraceContext]]" = contextvars.ContextVar(
+    "repro_obs_trace_current", default=None
+)
+
+
+def enable(site_label: str = "") -> None:
+    """Turn causal tracing on; ``site_label`` prefixes every id this
+    process mints (daemons pass ``--trace-site outer`` etc.) so ids
+    from different processes never collide in an assembled trace."""
+    global ENABLED, _SITE, _trace_seq, _span_seq
+    ENABLED = True
+    _SITE = site_label
+    _trace_seq = 0
+    _span_seq = 0
+    _CURRENT.set(None)
+
+
+def disable() -> None:
+    global ENABLED, _SITE, _trace_seq, _span_seq
+    ENABLED = False
+    _SITE = ""
+    _trace_seq = 0
+    _span_seq = 0
+    _CURRENT.set(None)
+
+
+def site() -> str:
+    return _SITE
+
+
+def _next_span_id() -> str:
+    global _span_seq
+    _span_seq += 1
+    return f"{_SITE}s{_span_seq:x}"
+
+
+def mint(origin: str = "op") -> Optional[TraceContext]:
+    """New root context, or ``None`` when tracing is off.  ``origin``
+    becomes part of the trace id, so assembled traces read
+    ``submit-1``, ``connect-3`` instead of opaque hashes."""
+    global _trace_seq
+    if not ENABLED:
+        return None
+    _trace_seq += 1
+    return TraceContext(f"{_SITE}{origin}-{_trace_seq}", _next_span_id())
+
+
+def child(ctx: Optional[TraceContext]) -> Optional[TraceContext]:
+    """A context for work caused by ``ctx`` (same trace, fresh span,
+    parented to ``ctx``'s span).  ``None`` propagates."""
+    if ctx is None:
+        return None
+    return TraceContext(ctx.trace_id, _next_span_id(), ctx.span_id, ctx.flags)
+
+
+def accept(wire: Any) -> Optional[TraceContext]:
+    """Adopt a context received off the wire: parse it and allocate
+    this process's own span id under it.  Returns ``None`` for
+    missing/malformed input (untagged seed peer).  Works even when
+    local tracing is off — a tag on the wire means the *origin* opted
+    in, and honouring it is what makes the tree complete."""
+    parent = TraceContext.from_wire(wire)
+    if parent is None:
+        return None
+    return TraceContext(parent.trace_id, _next_span_id(), parent.span_id,
+                        parent.flags)
+
+
+def span_args(ctx: Optional[TraceContext]) -> "dict[str, Any]":
+    """Span ``args`` entries identifying ``ctx``, or ``{}`` for
+    ``None`` — the shape every instrumentation point splices in, so a
+    disabled run's spans carry exactly the args they did before causal
+    tracing existed."""
+    if ctx is None:
+        return {}
+    out: dict[str, Any] = {"trace": ctx.trace_id, "span": ctx.span_id}
+    if ctx.parent_id is not None:
+        out["parent"] = ctx.parent_id
+    return out
+
+
+def wire_args(wire: Any) -> "dict[str, Any]":
+    """Span ``args`` naming the trace a wire-form context belongs to
+    (``parent`` = the sender's span) without allocating a span id of
+    its own — for repeated events *about* a tagged stream, like
+    window stalls.  ``{}`` for missing/malformed input."""
+    ctx = TraceContext.from_wire(wire)
+    if ctx is None:
+        return {}
+    return {"trace": ctx.trace_id, "parent": ctx.span_id}
+
+
+def current() -> Optional[TraceContext]:
+    """Ambient context for the asyncio plane (``None`` elsewhere)."""
+    return _CURRENT.get()
+
+
+def set_current(ctx: Optional[TraceContext]) -> None:
+    _CURRENT.set(ctx)

@@ -11,8 +11,10 @@ testbed.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Optional
 
+from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 from repro.rmf.jobs import RMFError
 
 __all__ = ["FileStore", "StagingError"]
@@ -60,14 +62,47 @@ class FileStore:
 
     # -- staging bundles ------------------------------------------------------
 
-    def bundle(self, names: Iterable[str]) -> dict[str, bytes]:
-        """Collect files for stage-in; raises if any is missing."""
-        return {name: self.get(name) for name in names}
+    def bundle(
+        self,
+        names: Iterable[str],
+        tctx: "Optional[_trace.TraceContext]" = None,
+    ) -> dict[str, bytes]:
+        """Collect files for stage-in; raises if any is missing.
 
-    def unbundle(self, files: Mapping[str, bytes]) -> None:
+        ``tctx`` attributes the staged bytes to a causal trace in the
+        registry (which job's staging paid the transfer).
+        """
+        files = {name: self.get(name) for name in names}
+        self._count_staging("gass.staged_out", files, tctx)
+        return files
+
+    def unbundle(
+        self,
+        files: Mapping[str, bytes],
+        tctx: "Optional[_trace.TraceContext]" = None,
+    ) -> None:
         """Install a staged-in bundle."""
         for name, content in files.items():
             self.put(name, content)
+        self._count_staging("gass.staged_in", files, tctx)
+
+    def _count_staging(
+        self,
+        name: str,
+        files: Mapping[str, bytes],
+        tctx: "Optional[_trace.TraceContext]",
+    ) -> None:
+        # Only when causal tracing is on: the registry snapshot of a
+        # tracing-off run must not grow new keys.
+        if not _trace.ENABLED or not files:
+            return
+        rec = _obs.RECORDER
+        if rec is not None:
+            nbytes = self.bundle_bytes(files)
+            rec.count(f"{name}.files", len(files))
+            rec.count(f"{name}.bytes", nbytes)
+            if tctx is not None:
+                rec.count_pair("gass.trace_bytes", tctx.trace_id, nbytes)
 
     @staticmethod
     def bundle_bytes(files: Mapping[str, bytes]) -> int:

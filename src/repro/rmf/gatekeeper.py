@@ -38,6 +38,7 @@ from repro.rmf.jobs import JobResult, JobSpec, JobState, RMFError
 from repro.rmf.qsystem import DEFAULT_QSERVER_PORT, QClient, QServer
 from repro.rmf.rsl import parse_rsl
 from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 from repro.simnet.host import Host
 from repro.simnet.kernel import AllOf, Event
 from repro.simnet.socket import Connection, ConnectionReset, ListenSocket, SocketError
@@ -61,6 +62,8 @@ class GramRequest:
 
     rsl: str
     subject: str
+    #: Optional causal trace context (wire form) minted at submit time.
+    tctx: Optional[str] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -148,13 +151,15 @@ class Gatekeeper:
         except ConnectionReset:
             return
         t0 = self.sim.now
+        ctx = _trace.accept(getattr(msg.payload, "tctx", None))
 
         def _span_end(ok: bool) -> None:
             """GRAM span: request received → reply sent (Fig. 2 steps 1-6)."""
             rec = _obs.RECORDER
             if rec is not None:
                 rec.sim_span("rmf", "gram_request", t0, self.sim.now,
-                             track=f"gatekeeper:{self.host.name}", ok=ok)
+                             track=f"gatekeeper:{self.host.name}", ok=ok,
+                             **_trace.span_args(ctx))
 
         request = msg.payload
         if not isinstance(request, GramRequest):
@@ -182,7 +187,7 @@ class Gatekeeper:
             _span_end(False)
             return
         try:
-            results = yield from self._run_via_qsystem(spec)
+            results = yield from self._run_via_qsystem(spec, tctx=ctx)
         except RMFError as exc:
             yield conn.send(GramReply(ok=False, error=str(exc)), nbytes=_CTRL_BYTES)
             conn.close()
@@ -194,7 +199,11 @@ class Gatekeeper:
         conn.close()
         _span_end(True)
 
-    def _run_via_qsystem(self, spec: JobSpec) -> Iterator[Event]:
+    def _run_via_qsystem(
+        self,
+        spec: JobSpec,
+        tctx: "Optional[_trace.TraceContext]" = None,
+    ) -> Iterator[Event]:
         """Steps 3–6: allocator inquiry, sub-job fan-out, collection."""
         qclient = QClient(self.host, staging=self.staging)
         # Step 3–4: ask the allocator.
@@ -212,14 +221,16 @@ class Gatekeeper:
             rec.sim_span("rmf", "allocate", t_alloc, self.sim.now,
                          track=f"gatekeeper:{self.host.name}",
                          ok=alloc_reply.ok,
-                         assignments=len(alloc_reply.assignments))
+                         assignments=len(alloc_reply.assignments),
+                         **_trace.span_args(tctx))
         if not alloc_reply.ok:
             raise RMFError(f"allocation failed: {alloc_reply.error}")
         # Step 5: submit sub-jobs concurrently, one per resource.
         t_subs = self.sim.now
         subs = [
             self.sim.process(
-                qclient.submit((a.host, a.port), spec, nprocs=a.nprocs),
+                qclient.submit((a.host, a.port), spec, nprocs=a.nprocs,
+                               tctx=_trace.child(tctx)),
                 name=f"qclient->{a.resource}",
             )
             for a in alloc_reply.assignments
@@ -229,7 +240,7 @@ class Gatekeeper:
         if rec is not None:
             rec.sim_span("rmf", "subjobs", t_subs, self.sim.now,
                          track=f"gatekeeper:{self.host.name}",
-                         count=len(subs))
+                         count=len(subs), **_trace.span_args(tctx))
         return [gathered[p] for p in subs]
 
 
@@ -238,11 +249,25 @@ def submit_job(
     gatekeeper_addr: tuple[str, int],
     rsl: str,
     subject: str = "anonymous",
+    tctx: "Optional[_trace.TraceContext]" = None,
 ) -> Iterator[Event]:
     """Generator: submit an RSL request and return the
-    :class:`GramReply` (step 1 of the flow, from the user's side)."""
+    :class:`GramReply` (step 1 of the flow, from the user's side).
+
+    An RMF submit is a causal-trace *origin*: when tracing is on and
+    no context was handed in, a fresh trace is minted here and rides
+    the request through gatekeeper, allocator, Q system and job.
+    """
+    if tctx is None and _trace.ENABLED:
+        tctx = _trace.mint("submit")
+    sim = client_host.sim
+    t0 = sim.now
     conn = yield from client_host.connect(gatekeeper_addr)
-    yield conn.send(GramRequest(rsl, subject), nbytes=_CTRL_BYTES + len(rsl))
+    yield conn.send(
+        GramRequest(rsl, subject,
+                    tctx=tctx.to_wire() if tctx is not None else None),
+        nbytes=_CTRL_BYTES + len(rsl),
+    )
     try:
         msg = yield conn.recv()
     except ConnectionReset:
@@ -251,6 +276,12 @@ def submit_job(
     reply = msg.payload
     if not isinstance(reply, GramReply):
         raise RMFError(f"unexpected gatekeeper reply: {reply!r}")
+    if tctx is not None:
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sim_span("rmf", "submit", t0, sim.now,
+                         track=f"client:{client_host.name}",
+                         ok=reply.ok, **_trace.span_args(tctx))
     return reply
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 
 __all__ = ["JobState", "JobSpec", "JobRecord", "JobResult", "RMFError"]
 
@@ -99,13 +100,17 @@ class JobRecord:
     exit_code: Optional[int] = None
     stdout: str = ""
     error: Optional[str] = None
+    #: Causal trace context adopted from the submission, when the
+    #: submitter tagged it; every lifecycle event carries it.
+    tctx: "Optional[_trace.TraceContext]" = None
 
     def _transition_instant(self, now: float) -> None:
         rec = _obs.RECORDER
         if rec is not None:
             rec.sim_instant("rmf.job", self.state.value, now,
                             track=f"job:{self.job_id}",
-                            executable=self.spec.executable)
+                            executable=self.spec.executable,
+                            **_trace.span_args(self.tctx))
 
     def mark_active(self, now: float) -> None:
         if self.state is not JobState.PENDING:

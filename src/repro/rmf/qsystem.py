@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.obs import spans as _obs
+from repro.obs import trace as _trace
 from repro.rmf.executables import ExecutableRegistry, ExecutionContext, default_registry
 from repro.rmf.gass import FileStore
 from repro.rmf.jobs import JobRecord, JobResult, JobSpec, JobState, RMFError, next_job_id
@@ -52,6 +53,8 @@ class QSubmit:
     files: dict[str, bytes] = field(default_factory=dict)
     #: Processes this sub-job should use on the target resource.
     nprocs: int = 1
+    #: Optional causal trace context (wire form).
+    tctx: Optional[str] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -208,7 +211,8 @@ class QServer:
             conn.close()
             return
         record = JobRecord(
-            job_id=next_job_id(), spec=submit.spec, submitted_at=self.sim.now
+            job_id=next_job_id(), spec=submit.spec, submitted_at=self.sim.now,
+            tctx=_trace.accept(submit.tctx),
         )
         self.records[record.job_id] = record
         if submit.spec.executable not in self.registry:
@@ -219,7 +223,7 @@ class QServer:
             )
             conn.close()
             return
-        self.files.unbundle(submit.files)
+        self.files.unbundle(submit.files, tctx=record.tctx)
         yield conn.send(QAccepted(record.job_id), nbytes=_CTRL_BYTES)
         if not self._queue.try_put((record, submit, conn)):
             record.mark_failed(self.sim.now, "queue closed")
@@ -277,7 +281,8 @@ class QServer:
         if rec is not None:
             rec.sim_span("rmf.job", "queued", record.submitted_at, self.sim.now,
                          track=f"qserver:{self.resource_name}",
-                         job_id=record.job_id)
+                         job_id=record.job_id,
+                         **_trace.span_args(record.tctx))
         self.running_jobs += 1
         yield conn.send(QStarted(record.job_id), nbytes=_CTRL_BYTES)
         ctx = ExecutionContext(
@@ -308,7 +313,8 @@ class QServer:
             rec.sim_span("rmf.job", "run", record.started_at, self.sim.now,
                          track=f"qserver:{self.resource_name}",
                          job_id=record.job_id, state=record.state.value,
-                         executable=record.spec.executable)
+                         executable=record.spec.executable,
+                         **_trace.span_args(record.tctx))
         out_files: dict[str, bytes] = {}
         for name in record.spec.stage_out:
             if self.files.exists(name):
@@ -351,15 +357,29 @@ class QClient:
         qserver_addr: "tuple[str, int]",
         spec: JobSpec,
         nprocs: int = 1,
+        tctx: "Optional[_trace.TraceContext]" = None,
     ) -> Iterator[Event]:
         """Generator: submit and return a :class:`JobHandle` that can
         be waited on or cancelled."""
-        files = self.staging.bundle(spec.stage_in)
+        t0 = self.sim.now
+        files = self.staging.bundle(spec.stage_in, tctx=tctx)
         conn = yield from self.host.connect(qserver_addr)
         yield conn.send(
-            QSubmit(spec, files, nprocs),
+            QSubmit(spec, files, nprocs,
+                    tctx=tctx.to_wire() if tctx is not None else None),
             nbytes=_CTRL_BYTES + FileStore.bundle_bytes(files),
         )
+        if tctx is not None:
+            rec = _obs.RECORDER
+            if rec is not None:
+                # Anchor this hop's span id so the assembled causal
+                # tree has a node between the gatekeeper and the Q
+                # server (a minted context without a span would leave
+                # the child's parent link dangling).
+                rec.sim_span("rmf", "qsubmit", t0, self.sim.now,
+                             track=f"qclient:{self.host.name}",
+                             dest=f"{qserver_addr[0]}:{qserver_addr[1]}",
+                             **_trace.span_args(tctx))
         return JobHandle(self, conn, qserver_addr)
 
     def submit(
@@ -367,10 +387,12 @@ class QClient:
         qserver_addr: "tuple[str, int]",
         spec: JobSpec,
         nprocs: int = 1,
+        tctx: "Optional[_trace.TraceContext]" = None,
     ) -> Iterator[Event]:
         """Generator: run one sub-job on one Q server, return
         :class:`JobResult` (step 5–6 of the Fig. 2 flow)."""
-        handle = yield from self.submit_handle(qserver_addr, spec, nprocs)
+        handle = yield from self.submit_handle(qserver_addr, spec, nprocs,
+                                              tctx=tctx)
         result = yield from handle.wait()
         return result
 

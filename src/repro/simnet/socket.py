@@ -29,6 +29,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator, Optional
 
+from repro.obs import trace as _trace
 from repro.simnet.firewall import Direction, FirewallBlocked
 from repro.simnet.kernel import AnyOf, Event, Process, SimError, Simulator
 from repro.simnet.link import Link
@@ -148,6 +149,9 @@ class Message:
     msgid: int
     sent_at: float
     delivered_at: float
+    #: Optional causal trace context (wire form), sniffed from tagged
+    #: payloads; ``None`` whenever causal tracing is off.
+    tctx: Optional[str] = None
 
     @property
     def transit_time(self) -> float:
@@ -213,6 +217,9 @@ class Connection:
         sim = self.sim
         msgid = next(_msgid_counter)
         sent_at = sim.now
+        tctx = None
+        if _trace.ENABLED:
+            tctx = getattr(payload, "tctx", None)
         nsegs = max(1, -(-nbytes // cfg.mss))
         # Serialize sender-side work between back-to-back sends.
         yield self._send_lock.request()
@@ -236,7 +243,7 @@ class Connection:
                 sim.process(
                     self._segment_walk(
                         msgid, nsegs, seg_bytes, payload if last else None,
-                        nbytes, sent_at,
+                        nbytes, sent_at, tctx,
                     ),
                     name=f"seg:{msgid}:{index}",
                 )
@@ -253,6 +260,7 @@ class Connection:
         payload: Any,
         total_bytes: int,
         sent_at: float,
+        tctx: Optional[str] = None,
     ) -> Iterator[Event]:
         sim = self.sim
         cfg = self.network.config
@@ -282,6 +290,7 @@ class Connection:
             msgid=msgid,
             sent_at=sent_at,
             delivered_at=sim.now,
+            tctx=tctx,
         )
         peer.bytes_received += total_bytes
         peer.messages_received += 1

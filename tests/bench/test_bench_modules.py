@@ -156,3 +156,45 @@ def test_cli_profile_writes_registry_snapshot(tmp_path, capsys):
     obs = json.loads((tmp_path / "prof.pstats.obs.json").read_text())
     assert obs["format"] == "repro-obs-registry-v1"
     assert obs["registry"]["profile.tuning_wall_s"] > 0
+
+
+def test_cli_causal_trace_assembles_closed_tree(tmp_path):
+    import json
+
+    from repro.bench.cli import main
+    from repro.obs import trace
+    from repro.obs.assemble import assemble
+
+    base = tmp_path / "causal"
+    rc = main([
+        "table4", "--target-nodes", "50000",
+        "--trace", str(base), "--causal", "sim",
+    ])
+    assert rc == 0
+    assert trace.ENABLED is False  # CLI disables on exit
+    obj = json.loads((tmp_path / "causal.trace.json").read_text())
+    tagged = [
+        ev for ev in obj["traceEvents"]
+        if isinstance(ev.get("args"), dict) and "trace" in ev["args"]
+    ]
+    assert tagged, "causal run produced no tagged spans"
+    assert any(ev["args"]["trace"].startswith("sim") for ev in tagged)
+    # The tree closes: every hop's parent was anchored by some span.
+    merged = assemble([("bench", obj)])
+    info = merged["otherData"]["assembled"]
+    assert info["unresolved_parents"] == 0
+    assert info["flows"] > 0
+
+
+def test_cli_without_causal_has_no_trace_args(tmp_path):
+    import json
+
+    from repro.bench.cli import main
+
+    base = tmp_path / "plain"
+    rc = main([
+        "table4", "--target-nodes", "50000", "--trace", str(base),
+    ])
+    assert rc == 0
+    text = (tmp_path / "plain.trace.json").read_text()
+    assert '"trace"' not in text  # byte-stability: no trace args leak

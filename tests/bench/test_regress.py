@@ -1,0 +1,154 @@
+"""The benchmark regression gate: direction-aware tolerant comparison
+and its exit-code contract."""
+
+import json
+
+from repro.bench.regress import (
+    DEFAULT_TOLERANCE,
+    REGRESS_FORMAT_TAG,
+    classify_key,
+    compare,
+    main,
+)
+
+BASE = {
+    "meta": {"git_sha": "abc", "python": "3.11"},
+    "single_chain": {"adaptive_mb_per_s": 900.0, "speedup": 2.4},
+    "rtt": {"mean_us": 42.0},
+    "table4": {"seed": {"nodes": 1000, "wall_s": 10.0}},
+}
+
+
+def _fresh(**overrides):
+    fresh = json.loads(json.dumps(BASE))
+    for dotted, value in overrides.items():
+        node = fresh
+        *path, leaf = dotted.split(".")
+        for key in path:
+            node = node[key]
+        node[leaf] = value
+    return fresh
+
+
+def test_classify_key_directions():
+    assert classify_key("a.b.adaptive_mb_per_s") == "higher"
+    assert classify_key("x.nodes_per_s") == "higher"
+    assert classify_key("x.speedup") == "higher"
+    assert classify_key("x.wall_s") == "lower"
+    assert classify_key("rtt.p95_us") == "lower"
+    assert classify_key("t.sequential_sim_time_s") == "lower"
+    assert classify_key("table4.seed.nodes") is None
+    assert classify_key("meta.cpu_count") is None
+
+
+def test_identical_passes():
+    verdict = compare(_fresh(), BASE)
+    assert verdict["format"] == REGRESS_FORMAT_TAG
+    assert verdict["status"] == "ok"
+    assert verdict["checked"] == 4
+    assert verdict["regressions"] == []
+    assert verdict["changed"] == []
+
+
+def test_noise_within_tolerance_passes():
+    fresh = _fresh(**{
+        "single_chain.adaptive_mb_per_s": 900.0 * (1 - DEFAULT_TOLERANCE + 0.01),
+        "rtt.mean_us": 42.0 * (1 + DEFAULT_TOLERANCE - 0.01),
+    })
+    assert compare(fresh, BASE)["status"] == "ok"
+
+
+def test_throughput_drop_regresses():
+    fresh = _fresh(**{"single_chain.adaptive_mb_per_s": 400.0})
+    verdict = compare(fresh, BASE)
+    assert verdict["status"] == "regressed"
+    [entry] = verdict["regressions"]
+    assert entry["key"] == "single_chain.adaptive_mb_per_s"
+    assert entry["direction"] == "higher"
+
+
+def test_latency_rise_regresses():
+    fresh = _fresh(**{"rtt.mean_us": 90.0})
+    verdict = compare(fresh, BASE)
+    assert verdict["status"] == "regressed"
+    assert verdict["regressions"][0]["direction"] == "lower"
+
+
+def test_latency_drop_is_improvement():
+    fresh = _fresh(**{"rtt.mean_us": 20.0})
+    verdict = compare(fresh, BASE)
+    assert verdict["status"] == "ok"
+    assert verdict["improvements"][0]["key"] == "rtt.mean_us"
+
+
+def test_exact_leaf_change_reported_not_regressed():
+    fresh = _fresh(**{"table4.seed.nodes": 1001})
+    verdict = compare(fresh, BASE)
+    assert verdict["status"] == "ok"
+    [entry] = verdict["changed"]
+    assert entry["key"] == "table4.seed.nodes"
+
+
+def test_meta_is_ignored_and_missing_reported():
+    fresh = _fresh()
+    fresh["meta"]["git_sha"] = "zzz"
+    del fresh["rtt"]
+    verdict = compare(fresh, BASE)
+    assert verdict["missing_keys"] == ["rtt.mean_us"]
+    assert all(not e["key"].startswith("meta.")
+               for e in verdict["changed"])
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _write(tmp_path, name, obj):
+    p = tmp_path / name
+    p.write_text(json.dumps(obj) if isinstance(obj, dict) else obj)
+    return str(p)
+
+
+def test_cli_pass_and_verdict_file(tmp_path, capsys):
+    f = _write(tmp_path, "fresh.json", _fresh())
+    b = _write(tmp_path, "base.json", BASE)
+    out = str(tmp_path / "verdict.json")
+    assert main([f, b, "--out", out]) == 0
+    assert "ok (4 leaves checked" in capsys.readouterr().out
+    verdict = json.loads(open(out).read())
+    assert verdict["status"] == "ok"
+
+
+def test_cli_regression_exits_1(tmp_path, capsys):
+    f = _write(tmp_path, "fresh.json",
+               _fresh(**{"single_chain.speedup": 1.0}))
+    b = _write(tmp_path, "base.json", BASE)
+    assert main([f, b]) == 1
+    assert "REGRESSED single_chain.speedup" in capsys.readouterr().out
+
+
+def test_cli_report_only_clamps_to_0(tmp_path):
+    f = _write(tmp_path, "fresh.json",
+               _fresh(**{"single_chain.speedup": 1.0}))
+    b = _write(tmp_path, "base.json", BASE)
+    assert main([f, b, "--report-only"]) == 0
+
+
+def test_cli_unreadable_exits_2_even_report_only(tmp_path, capsys):
+    b = _write(tmp_path, "base.json", BASE)
+    empty = _write(tmp_path, "empty.json", "")
+    trunc = _write(tmp_path, "trunc.json", '{"a": ')
+    assert main(["/no/such/file.json", b, "--report-only"]) == 2
+    assert main([empty, b, "--report-only"]) == 2
+    assert main([trunc, b, "--report-only"]) == 2
+    err = capsys.readouterr().err
+    assert "cannot read" in err
+    assert "empty file" in err
+    assert "truncated" in err
+
+
+def test_cli_dispatch_through_repro_bench(tmp_path):
+    from repro.bench.cli import main as bench_main
+
+    f = _write(tmp_path, "fresh.json", _fresh())
+    b = _write(tmp_path, "base.json", BASE)
+    assert bench_main(["regress", f, b]) == 0

@@ -109,3 +109,51 @@ def test_tuning_sweep_parallel_ranking_identical() -> None:
     assert [p.execution_time for p in serial] == [
         p.execution_time for p in parallel
     ]
+
+
+def _record_metrics(x: int) -> int:
+    """Picklable worker task that emits metrics via the installed
+    recorder (the pool installs a fresh one per task)."""
+    from repro.obs import spans
+
+    rec = spans.RECORDER
+    assert rec is not None
+    rec.registry.counter("worker.tasks").inc()
+    rec.registry.counter("worker.total").inc(x)
+    rec.registry.histogram("worker.values").record(x)
+    return x * x
+
+
+def test_fan_out_merges_worker_registries() -> None:
+    """With a recorder installed, the parallel path ships each
+    worker's registry snapshot home and absorbs it — so
+    ``--jobs N --profile`` loses no worker-side metrics."""
+    from repro.obs import spans
+
+    tasks = [1, 2, 3, 4]
+    rec = spans.install()
+    try:
+        results = fan_out(_record_metrics, tasks, jobs=2)
+    finally:
+        spans.uninstall()
+    assert results == [1, 4, 9, 16]
+    snap = rec.registry.snapshot()
+    assert snap["worker.tasks"] == 4
+    assert snap["worker.total"] == 10
+    assert sum(snap["worker.values"].values()) == 4
+
+    # The serial path records into the parent registry directly and
+    # must agree with the merged parallel totals.
+    rec2 = spans.install()
+    try:
+        fan_out(_record_metrics, tasks, jobs=1)
+    finally:
+        spans.uninstall()
+    assert rec2.registry.snapshot()["worker.total"] == 10
+
+
+def test_fan_out_without_recorder_skips_merge() -> None:
+    from repro.obs import spans
+
+    assert spans.RECORDER is None
+    assert fan_out(_square, [5, 6], jobs=2) == [25, 36]

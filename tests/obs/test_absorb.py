@@ -1,0 +1,59 @@
+"""Merging registry snapshots across process boundaries
+(``MetricsRegistry.absorb``) — the mechanism that keeps worker-side
+metrics when ``repro-bench --jobs N --profile`` fans out."""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _donor_snapshot() -> dict:
+    reg = MetricsRegistry()
+    reg.counter("events").inc(10)
+    reg.gauge("wall_s").add(1.5)
+    reg.counter2d("msgs", "a->b").inc(3)
+    hist = reg.histogram("bytes")
+    hist.record(3)
+    hist.record(3)
+    hist.record(100)
+    reg.register_collector("relay", lambda: {"chains": 2, "inner": {"deep": 4}})
+    return reg.snapshot()
+
+
+def test_absorb_into_empty_equals_donor():
+    reg = MetricsRegistry()
+    reg.absorb(_donor_snapshot())
+    snap = reg.snapshot()
+    assert snap["events"] == 10
+    assert snap["wall_s"] == 1.5
+    assert snap["msgs"]["a->b"] == 3
+    assert snap["bytes"]["<=3"] == 2
+    assert sum(snap["bytes"].values()) == 3
+    # Collector output is absorbed by shape: flat ints become
+    # counters; an all-int inner dict lands as a keyed family under
+    # its dotted name.
+    assert snap["relay.chains"] == 2
+    assert snap["relay.inner"] == {"deep": 4}
+
+
+def test_absorb_accumulates_counters_and_histograms():
+    reg = MetricsRegistry()
+    reg.counter("events").inc(5)
+    reg.histogram("bytes").record(3)
+    reg.absorb(_donor_snapshot())
+    reg.absorb(_donor_snapshot())
+    snap = reg.snapshot()
+    assert snap["events"] == 25
+    assert snap["msgs"]["a->b"] == 6
+    assert snap["bytes"]["<=3"] == 5
+    assert sum(snap["bytes"].values()) == 7
+    # Gauges accumulate too (absorb treats them as deltas — the
+    # worker's gauge reading is a contribution, not a replacement).
+    assert snap["wall_s"] == 3.0
+
+
+def test_absorb_ignores_bools_and_empty():
+    reg = MetricsRegistry()
+    reg.absorb({})
+    reg.absorb({"flag": True, "n": 1})
+    snap = reg.snapshot()
+    assert "flag" not in snap
+    assert snap["n"] == 1

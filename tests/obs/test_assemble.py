@@ -1,0 +1,159 @@
+"""Assembling per-process traces into one causal Chrome trace, and the
+``repro-obs`` exit-code contract (0 ok / 1 differs-or-invalid /
+2 unreadable)."""
+
+import json
+
+import pytest
+
+from repro.obs import spans, trace
+from repro.obs.assemble import PID_STRIDE, assemble
+from repro.obs.cli import EXIT_DIFFERS, EXIT_OK, EXIT_UNREADABLE, main
+from repro.obs.export import dumps, to_chrome, validate_chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    yield
+    trace.disable()
+
+
+def _two_process_traces():
+    """Fake a driver process and a daemon process sharing one trace:
+    the driver mints, the daemon accepts off the wire."""
+    trace.enable("drv")
+    driver = spans.ObsRecorder()
+    root = trace.mint("connect")
+    driver.sim_span("nxproxy", "connect", 0.0, 0.5, track="user",
+                    **trace.span_args(root))
+    # As in api.connect: the wire carries the anchored span's context.
+    wire = root.to_wire()
+
+    trace.enable("outer")  # second "process": fresh counters, new site
+    daemon = spans.ObsRecorder()
+    hop = trace.accept(wire)
+    t0 = daemon.wall_ts()
+    daemon.wall_span_end("relay", "active_chain", t0, track="outer",
+                         **trace.span_args(hop))
+    trace.disable()
+    return to_chrome(driver), to_chrome(daemon)
+
+
+def test_assemble_links_hops_across_files():
+    drv, daemon = _two_process_traces()
+    merged = assemble([("driver", drv), ("outer", daemon)])
+    assert validate_chrome_trace(merged) == []
+    info = merged["otherData"]["assembled"]
+    assert info["files"] == ["driver", "outer"]
+    assert info["flows"] == 1
+    assert info["unresolved_parents"] == 0
+    flows = [ev for ev in merged["traceEvents"] if ev.get("ph") in ("s", "f")]
+    assert len(flows) == 2
+    start = next(ev for ev in flows if ev["ph"] == "s")
+    end = next(ev for ev in flows if ev["ph"] == "f")
+    assert start["id"] == end["id"]
+    assert end["bp"] == "e"
+    # Flow crosses file (pid-block) boundaries.
+    assert start["pid"] // PID_STRIDE != end["pid"] // PID_STRIDE
+
+
+def test_assemble_remaps_pids_per_file():
+    drv, daemon = _two_process_traces()
+    merged = assemble([("driver", drv), ("outer", daemon)])
+    pids = {ev["pid"] for ev in merged["traceEvents"]}
+    assert all(p >= PID_STRIDE for p in pids)
+    # File 1 keeps sim=11/wall=12, file 2 gets 21/22.
+    assert {11, 21} & pids or {12, 22} & pids
+    names = {
+        ev["args"]["name"]
+        for ev in merged["traceEvents"]
+        if ev.get("ph") == "M" and ev.get("name") == "process_name"
+    }
+    assert any(n.startswith("driver:") for n in names)
+    assert any(n.startswith("outer:") for n in names)
+
+
+def test_assemble_counts_unresolved_parents():
+    trace.enable("a")
+    rec = spans.ObsRecorder()
+    orphan = trace.accept("t-1/ghost/1")
+    rec.sim_instant("x", "hop", 0.0, track="t", **trace.span_args(orphan))
+    trace.disable()
+    merged = assemble([("only", to_chrome(rec))])
+    info = merged["otherData"]["assembled"]
+    assert info["flows"] == 0
+    assert info["unresolved_parents"] == 1
+    assert info["traces"] == {"t-1": 1}
+
+
+# -- the repro-obs CLI exit-code contract -------------------------------------
+
+
+def _write(tmp_path, name, text):
+    p = tmp_path / name
+    p.write_text(text)
+    return str(p)
+
+
+def test_cli_missing_file_exits_2(capsys):
+    assert main(["summarize", "/nonexistent/nope.json"]) == EXIT_UNREADABLE
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_cli_empty_file_exits_2(tmp_path, capsys):
+    path = _write(tmp_path, "empty.json", "")
+    for cmd in (["summarize", path], ["validate", path],
+                ["diff", path, path], ["assemble", path]):
+        assert main(cmd) == EXIT_UNREADABLE
+    assert "empty file" in capsys.readouterr().err
+
+
+def test_cli_truncated_json_exits_2(tmp_path, capsys):
+    rec = spans.ObsRecorder()
+    rec.sim_instant("c", "e", 0.0, track="t")
+    whole = dumps(to_chrome(rec))
+    path = _write(tmp_path, "trunc.json", whole[: len(whole) // 2])
+    assert main(["summarize", path]) == EXIT_UNREADABLE
+    err = capsys.readouterr().err
+    assert "truncated" in err and "line" in err
+
+
+def test_cli_wrong_shape_exits_2(tmp_path, capsys):
+    path = _write(tmp_path, "other.json", '{"hello": "world"}')
+    assert main(["summarize", path]) == EXIT_UNREADABLE
+    assert "not a repro-obs" in capsys.readouterr().err
+
+
+def test_cli_diff_exit_codes(tmp_path):
+    rec_a = spans.ObsRecorder()
+    rec_a.sim_instant("c", "e", 0.0, track="t")
+    rec_b = spans.ObsRecorder()
+    rec_b.sim_instant("c", "e", 0.0, track="t")
+    rec_b.sim_instant("c", "extra", 0.0, track="t")
+    a = _write(tmp_path, "a.json", dumps(to_chrome(rec_a)))
+    b = _write(tmp_path, "b.json", dumps(to_chrome(rec_b)))
+    assert main(["diff", a, a]) == EXIT_OK
+    assert main(["diff", a, b]) == EXIT_DIFFERS
+
+
+def test_cli_validate_invalid_exits_1(tmp_path):
+    path = _write(
+        tmp_path, "bad.json",
+        json.dumps({"traceEvents": [{"ph": "Q"}], "otherData": {}}),
+    )
+    assert main(["validate", path]) == EXIT_DIFFERS
+
+
+def test_cli_assemble_writes_valid_trace(tmp_path, capsys):
+    drv, daemon = _two_process_traces()
+    a = _write(tmp_path, "drv.trace.json", dumps(drv))
+    b = _write(tmp_path, "outer.trace.json", dumps(daemon))
+    out = str(tmp_path / "merged.trace.json")
+    code = main(["assemble", a, b, "-o", out,
+                 "--labels", "driver", "outer"])
+    assert code == EXIT_OK
+    assert "1 causal links" in capsys.readouterr().err
+    merged = json.loads(open(out).read())
+    assert validate_chrome_trace(merged) == []
+    assert main(["validate", out]) == EXIT_OK
+    assert main(["summarize", out]) == EXIT_OK

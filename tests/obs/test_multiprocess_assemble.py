@@ -1,0 +1,182 @@
+"""The acceptance criterion for causal tracing: a real multi-process
+run — traced driver + outer daemon + inner daemon, three separate
+Python processes — assembles into ONE Chrome trace whose flow events
+connect the relay hops across process boundaries."""
+
+import asyncio
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.aio import AioProxyClient
+from repro.obs import spans, trace
+from repro.obs.cli import main as obs_main
+from repro.obs.export import validate_chrome_trace, write_artifacts
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _spawn_daemon(entry: str, args: "list[str]") -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    code = (
+        f"import sys; from repro.core.aio.cli import {entry}; "
+        f"sys.exit({entry}(sys.argv[1:]))"
+    )
+    return subprocess.Popen(
+        [sys.executable, "-c", code, *args],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_port(port: int, timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=1):
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise TimeoutError(f"port {port} never came up")
+
+
+def _stop(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+async def _drive_traffic(outer_port: int, nxport: int) -> None:
+    """One active connect and one passive bind+chain, both traced."""
+    client = AioProxyClient(
+        outer_addr=("127.0.0.1", outer_port),
+        inner_addr=("127.0.0.1", nxport),
+    )
+
+    # Active open toward a local echo endpoint.
+    async def echo(r, w):
+        data = await r.read(1024)
+        w.write(data)
+        await w.drain()
+        w.close()
+
+    srv = await asyncio.start_server(echo, "127.0.0.1", 0)
+    echo_port = srv.sockets[0].getsockname()[1]
+    r, w = await client.connect("127.0.0.1", echo_port)
+    w.write(b"actively relayed")
+    await w.drain()
+    assert await r.readexactly(16) == b"actively relayed"
+    w.close()
+    srv.close()
+
+    # Passive open: a peer reaches us through outer->inner chaining.
+    listener = await client.bind()
+
+    async def serve_one():
+        cr, cw = await listener.accept(timeout=15)
+        data = await cr.read(1024)
+        cw.write(data)
+        await cw.drain()
+        cw.close()
+
+    server_task = asyncio.ensure_future(serve_one())
+    host, port = listener.proxy_addr
+    pr, pw = await asyncio.open_connection(host, port)
+    pw.write(b"chained")
+    await pw.drain()
+    assert await pr.readexactly(7) == b"chained"
+    pw.close()
+    await server_task
+    await listener.close()
+    await asyncio.sleep(0.2)  # let daemon-side chain spans close
+
+
+@pytest.mark.slow
+def test_three_process_run_assembles_into_one_causal_trace(tmp_path):
+    nxport = _free_port()
+    outer_port = _free_port()
+    inner_base = str(tmp_path / "inner")
+    outer_base = str(tmp_path / "outer")
+    cli_base = str(tmp_path / "cli")
+
+    inner = _spawn_daemon("inner_main", [
+        "--host", "127.0.0.1", "--nxport", str(nxport),
+        "--trace-out", inner_base, "--trace-site", "inner",
+    ])
+    outer = _spawn_daemon("outer_main", [
+        "--host", "127.0.0.1", "--control-port", str(outer_port),
+        "--trace-out", outer_base, "--trace-site", "outer",
+    ])
+    try:
+        _wait_port(nxport)
+        _wait_port(outer_port)
+
+        rec = spans.install()
+        trace.enable("cli")
+        try:
+            asyncio.run(
+                asyncio.wait_for(_drive_traffic(outer_port, nxport), 30)
+            )
+        finally:
+            trace.disable()
+            spans.uninstall()
+        write_artifacts(rec, cli_base, extra_meta={"role": "driver"})
+    finally:
+        _stop(outer)
+        _stop(inner)
+
+    paths = [f"{base}.trace.json" for base in (cli_base, outer_base, inner_base)]
+    for p in paths:
+        assert os.path.exists(p), f"daemon did not write {p} on SIGINT"
+
+    merged_path = str(tmp_path / "merged.trace.json")
+    code = obs_main(["assemble", *paths, "-o", merged_path,
+                     "--labels", "cli", "outer", "inner"])
+    assert code == 0
+    merged = json.loads(open(merged_path).read())
+    assert validate_chrome_trace(merged) == []
+
+    info = merged["otherData"]["assembled"]
+    assert info["files"] == ["cli", "outer", "inner"]
+    # Every hop's parent resolved: the causal tree closed.
+    assert info["unresolved_parents"] == 0
+    assert info["flows"] >= 3
+    # Both origins assembled, each spanning more than one process.
+    trace_ids = set(info["traces"])
+    assert any(t.startswith("cliconnect-") for t in trace_ids)
+    assert any(t.startswith("clibind-") for t in trace_ids)
+    bind_id = next(t for t in trace_ids if t.startswith("clibind-"))
+    assert info["traces"][bind_id] >= 3
+
+    # Flow arrows genuinely cross process (pid-block) boundaries.
+    flows = {}
+    for ev in merged["traceEvents"]:
+        if ev.get("ph") in ("s", "f"):
+            flows.setdefault(ev["id"], {})[ev["ph"]] = ev
+    assert flows
+    crossing = [
+        pair for pair in flows.values()
+        if pair["s"]["pid"] // 10 != pair["f"]["pid"] // 10
+    ]
+    assert crossing, "no flow event crosses a process boundary"
+    # The daemons' registries rode along (relay collector snapshots).
+    regs = merged["otherData"]["registries"]
+    assert regs["outer"]["relay"]["passive_chains"] >= 1
+    assert regs["inner"]["relay"]["nxport_connections"] >= 1

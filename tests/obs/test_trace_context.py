@@ -1,0 +1,190 @@
+"""Causal trace contexts: minting, propagation, byte-stability.
+
+The two contracts under test:
+
+* **Off means invisible**: with tracing disabled (the default), every
+  instrumentation point added for causal tracing is a no-op — a run
+  that once had tracing enabled and then disabled exports bytes
+  identical to a run that never heard of it.
+* **On means connected**: with tracing enabled, an RMF submission's
+  spans across client, gatekeeper, relay, and queue system all carry
+  the same trace id, and every ``parent`` link resolves to a recorded
+  span — the invariant ``repro-obs assemble`` builds flow events from.
+"""
+
+import pytest
+
+from repro.obs import spans
+from repro.obs import trace
+from repro.obs.export import dumps, to_chrome
+from repro.rmf import RMFSystem
+from repro.simnet import Firewall, Network
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    yield
+    trace.disable()
+
+
+# -- unit: the context algebra ------------------------------------------------
+
+
+def test_mint_returns_none_when_disabled():
+    assert not trace.ENABLED
+    assert trace.mint("op") is None
+    assert trace.child(None) is None
+    assert trace.span_args(None) == {}
+    assert trace.wire_args(None) == {}
+
+
+def test_mint_child_accept_when_enabled():
+    trace.enable("cli")
+    root = trace.mint("submit")
+    assert root is not None
+    assert root.trace_id == "clisubmit-1"
+    assert root.parent_id is None
+    kid = trace.child(root)
+    assert kid.trace_id == root.trace_id
+    assert kid.parent_id == root.span_id
+    assert kid.span_id != root.span_id
+    hop = trace.accept(kid.to_wire())
+    assert hop.trace_id == root.trace_id
+    assert hop.parent_id == kid.span_id
+
+
+def test_ids_are_deterministic_across_reruns():
+    trace.enable("s")
+    first = [trace.mint("op").to_wire() for _ in range(3)]
+    trace.enable("s")  # reset counters, same site
+    second = [trace.mint("op").to_wire() for _ in range(3)]
+    assert first == second
+
+
+def test_wire_roundtrip_and_tolerant_parse():
+    trace.enable("x")
+    ctx = trace.mint("connect")
+    back = trace.TraceContext.from_wire(ctx.to_wire())
+    assert back.trace_id == ctx.trace_id
+    assert back.span_id == ctx.span_id
+    # Malformed wire forms from old/foreign peers parse to None.
+    for bad in (None, 42, "", "a", "a/b", "a/b/zz", "//1", "a//1"):
+        assert trace.TraceContext.from_wire(bad) is None
+        assert trace.accept(bad) is None
+    assert trace.wire_args("a/b/1") == {"trace": "a", "parent": "b"}
+
+
+def test_accept_works_with_local_tracing_off():
+    """A tag on the wire means the origin opted in; the receiver must
+    honour it even if its own tracing is off."""
+    assert not trace.ENABLED
+    hop = trace.accept("t-1/s1/1")
+    assert hop is not None
+    assert hop.trace_id == "t-1"
+    assert trace.span_args(hop)["trace"] == "t-1"
+
+
+def test_span_args_shape():
+    trace.enable("")
+    root = trace.mint("op")
+    args = trace.span_args(root)
+    assert set(args) == {"trace", "span"}
+    kid_args = trace.span_args(trace.child(root))
+    assert set(kid_args) == {"trace", "span", "parent"}
+    assert kid_args["parent"] == args["span"]
+
+
+# -- integration: an RMF submission through the sim stack ---------------------
+
+
+def _rmf_deployment():
+    net = Network()
+    fw = Firewall.typical(reject=True)
+    site = net.add_site("rwcp", firewall=fw)
+    lan = net.add_router("lan", site=site)
+    alloc_h = net.add_host("alloc-host", site=site)
+    compas = net.add_host("compas", site=site, cpu_speed=0.5, cores=8)
+    gk_h = net.add_host("gatekeeper-host")
+    user_h = net.add_host("user")
+    for h in (alloc_h, compas):
+        net.link(h, lan, 1e-4, 6.9e6)
+    net.link(lan, gk_h, 1e-3, 1e6)
+    net.link(gk_h, user_h, 5e-3, 187.5e3)
+    rmf = RMFSystem(gk_h, alloc_h)
+    rmf.add_resource(compas, name="COMPaS", cpus=8)
+    rmf.start()
+    return net, rmf, user_h
+
+
+def _run_submission(rec):
+    import itertools
+
+    from repro.rmf import jobs as rmf_jobs
+
+    # Job ids come from a process-global counter; pin it so two runs
+    # in one test process produce comparable span args.
+    rmf_jobs._job_ids = itertools.count(1)
+    net, rmf, user_h = _rmf_deployment()
+    with spans.observe(rec):
+        p = net.sim.process(
+            rmf.submit(user_h, "&(executable=echo)(arguments=traced)")
+        )
+        net.sim.run()
+    assert p.value.ok
+    return rec
+
+
+def _sim_bytes(rec):
+    chrome = to_chrome(rec)
+    sim_events = [
+        ev for ev in chrome["traceEvents"] if ev.get("pid") == 1
+    ]
+    return dumps(sim_events)
+
+
+def test_disabled_tracing_is_byte_invisible():
+    """enable()+disable() before a run leaves the export identical to
+    a run where tracing never existed."""
+    never = _sim_bytes(_run_submission(spans.ObsRecorder()))
+    trace.enable("site")
+    trace.disable()
+    toggled = _sim_bytes(_run_submission(spans.ObsRecorder()))
+    assert never == toggled
+    assert '"trace"' not in never
+
+
+def test_traced_submission_forms_connected_tree():
+    trace.enable("u")
+    rec = _run_submission(spans.ObsRecorder())
+    tagged = [ev for ev in rec.events if "trace" in ev.args]
+    assert tagged, "no spans carried trace args"
+    trace_ids = {ev.args["trace"] for ev in tagged}
+    assert "usubmit-1" in trace_ids
+    # Hops span multiple subsystems and tracks of the one submission.
+    sub = [ev for ev in tagged if ev.args["trace"] == "usubmit-1"]
+    cats = {ev.cat for ev in sub}
+    assert {"rmf", "rmf.job"} <= cats, cats
+    tracks = {ev.track for ev in sub}
+    assert len(tracks) >= 4, tracks  # client, gatekeeper, qserver, job
+    # Every parent link resolves to a span recorded in this process.
+    spans_seen = {ev.args["span"] for ev in tagged if "span" in ev.args}
+    parents = [ev.args["parent"] for ev in tagged if "parent" in ev.args]
+    assert parents, "no parent links recorded"
+    missing = [p for p in parents if p not in spans_seen]
+    assert not missing, f"unresolved parents: {missing}"
+
+
+def test_traced_run_leaves_sim_results_unchanged():
+    """Tracing may add spans (the origin's submit span exists only
+    when a context was minted) but must never shift the timing of any
+    pre-existing one."""
+    rec_plain = _run_submission(spans.ObsRecorder())
+    trace.enable("u")
+    rec_traced = _run_submission(spans.ObsRecorder())
+    trace.disable()
+    plain = [(e.cat, e.name, e.ts, e.dur) for e in rec_plain.events
+             if e.domain == "sim"]
+    traced = [(e.cat, e.name, e.ts, e.dur) for e in rec_traced.events
+              if e.domain == "sim"]
+    missing = [t for t in plain if t not in traced]
+    assert not missing, f"tracing shifted existing spans: {missing[:5]}"
