@@ -31,16 +31,18 @@ or in full to (re)generate ``BENCH_relay.json``.
 
 from __future__ import annotations
 
-import argparse
 import asyncio
+import hashlib
 import json
 import socket
 import statistics
 import sys
 import time
 
-from repro.bench.results import bench_meta, write_results
+from repro.bench.results import bench_arg_parser, bench_meta, emit_results
 from repro.core.aio import AioInnerServer, AioOuterServer, AioProxyClient
+from repro.core.aio.pump import STREAM_LIMIT, tune_stream
+from repro.core.aio.streams import recv_striped, send_striped
 
 MB = 1024 * 1024
 
@@ -228,7 +230,192 @@ async def passive_concurrent_throughput(
         await inner.stop()
 
 
-async def run_suite(quick: bool) -> dict:
+#: One-way latency of the emulated WAN hop in the stripe sweep — the
+#: paper's RWCP↔outside link (3.5 ms, same figure the sim topology
+#: uses).  Striping is a wide-area technique: on raw loopback there is
+#: no window×RTT bound for parallel streams to beat, so the sweep
+#: inserts the latency the technique exists for.
+WAN_DELAY_S = 3.5e-3
+
+
+async def _wan_pipe(reader, writer, delay: float) -> None:
+    """Forward one direction, delaying each chunk by ``delay`` seconds
+    (latency emulation, not rate limiting: chunks pipeline)."""
+    loop = asyncio.get_running_loop()
+    queue: asyncio.Queue = asyncio.Queue()
+
+    async def flush() -> None:
+        try:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    break
+                due, data = item
+                lag = due - loop.time()
+                if lag > 0:
+                    await asyncio.sleep(lag)
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+    flusher = asyncio.ensure_future(flush())
+    try:
+        while True:
+            data = await reader.read(1 << 16)
+            if not data:
+                break
+            queue.put_nowait((loop.time() + delay, data))
+    except (ConnectionError, OSError):
+        pass
+    queue.put_nowait(None)
+    await flusher
+
+
+def _stripe_sink_thread(
+    lsock: socket.socket, wan_sock: socket.socket, out: dict
+) -> None:
+    """Own event loop: accept k relayed streams through an emulated
+    WAN hop, reassemble the stripe."""
+
+    async def main() -> None:
+        queue: asyncio.Queue = asyncio.Queue()
+
+        async def on_conn(reader, writer):
+            await queue.put((reader, writer))
+
+        server = await asyncio.start_server(
+            on_conn, sock=lsock, limit=STREAM_LIMIT
+        )
+        sink_port = lsock.getsockname()[1]
+        wan_tasks: set = set()
+
+        async def wan_conn(reader, writer):
+            wan_tasks.add(asyncio.current_task())
+            try:
+                onward_r, onward_w = await asyncio.open_connection(
+                    "127.0.0.1", sink_port, limit=STREAM_LIMIT
+                )
+                tune_stream(writer)
+                tune_stream(onward_w)
+                await asyncio.gather(
+                    _wan_pipe(reader, onward_w, WAN_DELAY_S),
+                    _wan_pipe(onward_r, writer, WAN_DELAY_S),
+                )
+            finally:
+                wan_tasks.discard(asyncio.current_task())
+
+        wan_server = await asyncio.start_server(
+            wan_conn, sock=wan_sock, limit=STREAM_LIMIT
+        )
+        data, report = await recv_striped(queue.get)
+        out["sha256"] = hashlib.sha256(data).hexdigest()
+        out["report"] = report
+        # Keep the emulator alive until its delay queues flush (the
+        # final restart marker must reach the sender) and the sender's
+        # closes propagate back through — otherwise the loop teardown
+        # would cancel the mark mid-delay and strand the send thread.
+        while wan_tasks:
+            await asyncio.gather(*list(wan_tasks), return_exceptions=True)
+        for srv in (server, wan_server):
+            srv.close()
+            await srv.wait_closed()
+
+    asyncio.run(main())
+
+
+def _stripe_send_thread(
+    control_port: int, sink_port: int, payload: bytes,
+    k: int, block: int, window: int, out: dict,
+) -> None:
+    """Own event loop: dial k relay chains, send one striped transfer."""
+
+    async def dial():
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", control_port, limit=STREAM_LIMIT
+        )
+        tune_stream(writer)
+        req = {"op": "connect", "host": "127.0.0.1", "port": sink_port}
+        writer.write(json.dumps(req).encode() + b"\n")
+        await writer.drain()
+        reply = json.loads(await reader.readline())
+        assert reply.get("ok"), reply
+        return reader, writer
+
+    async def main() -> None:
+        t0 = time.perf_counter()
+        out["report"] = await send_striped(
+            dial, payload, streams=k, block_bytes=block, window_blocks=window
+        )
+        out["elapsed"] = time.perf_counter() - t0
+
+    asyncio.run(main())
+
+
+async def parallel_stream_sweep(
+    nbytes: int, ks=(1, 2, 4, 8), repeats: int = 2,
+    block: int = 128 * 1024, window: int = 4,
+) -> dict:
+    """GridFTP-style striping: MB/s of one ``nbytes`` transfer split
+    over k relay chains crossing an emulated 3.5 ms WAN hop.
+
+    One stream carries at most ``window × block`` bytes above the
+    sink's restart marker, so a single stream is bounded by
+    window/RTT — the wide-area regime striping exists for (each
+    stream's window ratchets independently; the aggregate scales with
+    k until the single relay core saturates).  Endpoints and the WAN
+    emulator run in their own threads/event loops so the benched loop
+    carries only the relay; every transfer is hash-verified end to
+    end.
+    """
+    payload = bytes(bytearray(range(256)) * (nbytes // 256))
+    want = hashlib.sha256(payload).hexdigest()
+    sweep: dict = {}
+    for k in ks:
+        outer = await AioOuterServer(pump_mode="adaptive").start()
+        try:
+            best = 0.0
+            for _ in range(repeats):
+                lsock = socket.socket()
+                lsock.bind(("127.0.0.1", 0))
+                lsock.listen(16)
+                wan_sock = socket.socket()
+                wan_sock.bind(("127.0.0.1", 0))
+                wan_sock.listen(16)
+                wan_port = wan_sock.getsockname()[1]
+                sink_out: dict = {}
+                send_out: dict = {}
+                await asyncio.gather(
+                    asyncio.to_thread(
+                        _stripe_sink_thread, lsock, wan_sock, sink_out
+                    ),
+                    asyncio.to_thread(
+                        _stripe_send_thread, outer.control_port, wan_port,
+                        payload, k, block, window, send_out,
+                    ),
+                )
+                assert sink_out["sha256"] == want, "stripe corruption"
+                assert send_out["report"]["reconnects"] == 0
+                best = max(best, nbytes / MB / send_out["elapsed"])
+            sweep[f"k{k}"] = {"mb_per_s": round(best, 1)}
+            print(f"parallel streams    : k={k}  {best:8.1f} MB/s")
+        finally:
+            await outer.stop()
+    if "k1" in sweep and "k4" in sweep:
+        sweep["k4_vs_k1_speedup"] = round(
+            sweep["k4"]["mb_per_s"] / sweep["k1"]["mb_per_s"], 2
+        )
+    sweep["block_bytes"] = block
+    sweep["window_blocks"] = window
+    sweep["wan_delay_ms"] = WAN_DELAY_S * 1e3
+    return sweep
+
+
+async def run_suite(quick: bool, streams: "int | None" = None) -> dict:
     bulk = 4 * MB if quick else 16 * MB
     rtt_iters = 100 if quick else 400
     chains = 16
@@ -274,28 +461,35 @@ async def run_suite(quick: bool) -> dict:
           f"({legacy['nxport_connections']} nxport conns)   "
           f"mux {muxed['mb_per_s']:8.1f} MB/s "
           f"({muxed['nxport_connections']} nxport conn)")
+
+    stripe_bytes = 4 * MB if quick else 16 * MB
+    ks = (streams,) if streams else (1, 2, 4, 8)
+    results["parallel_streams"] = await parallel_stream_sweep(
+        stripe_bytes, ks=ks, repeats=2 if quick else 3
+    )
     return results
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small transfers (CI smoke run)")
-    parser.add_argument("--out", default=None,
-                        help="write results JSON here "
-                        "(default: BENCH_relay.json next to the repo root; "
-                        "'-' to skip)")
+    parser = bench_arg_parser(
+        __doc__, "BENCH_relay.json", quick_help="small transfers (CI smoke run)"
+    )
+    parser.add_argument("--streams", type=int, default=None,
+                        help="run the parallel-stream sweep at this single "
+                        "k only (CI smoke; default: sweep k=1,2,4,8)")
     args = parser.parse_args(argv)
-    results = asyncio.run(run_suite(args.quick))
+    results = asyncio.run(run_suite(args.quick, args.streams))
 
     speedup = results["single_chain_active"]["speedup"]
     if speedup < 2.0 and not args.quick:
         print(f"WARNING: adaptive single-chain speedup {speedup:.2f}x "
               "is below the 2x acceptance bar", file=sys.stderr)
+    stripe = results["parallel_streams"].get("k4_vs_k1_speedup")
+    if stripe is not None and stripe < 1.8 and not args.quick:
+        print(f"WARNING: k=4 striping speedup {stripe:.2f}x is below the "
+              "1.8x acceptance bar", file=sys.stderr)
 
-    path = write_results(results, args.out, "BENCH_relay.json")
-    if path is not None:
-        print(f"wrote {path}")
+    emit_results(results, args.out, "BENCH_relay.json")
     return 0
 
 

@@ -33,13 +33,12 @@ or in full to (re)generate ``BENCH_sim.json``.
 
 from __future__ import annotations
 
-import argparse
 import contextlib
 import os
 import sys
 import time
 
-from repro.bench.results import bench_meta, write_results
+from repro.bench.results import bench_arg_parser, bench_meta, emit_results
 
 ENGINE_VAR = "REPRO_SEARCH_ENGINE"
 KERNEL_VAR = "REPRO_SIM_KERNEL"
@@ -230,14 +229,10 @@ def run_suite(quick: bool, seed: int) -> dict:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="2M-node trees (CI smoke run)")
+    parser = bench_arg_parser(
+        __doc__, "BENCH_sim.json", quick_help="2M-node trees (CI smoke run)"
+    )
     parser.add_argument("--seed", type=int, default=5)
-    parser.add_argument("--out", default=None,
-                        help="write results JSON here "
-                        "(default: BENCH_sim.json in the repo root; "
-                        "'-' to skip)")
     args = parser.parse_args(argv)
     results = run_suite(args.quick, args.seed)
 
@@ -249,9 +244,7 @@ def main(argv=None) -> int:
     for failure in failures:
         print(f"FAILURE: {failure}", file=sys.stderr)
 
-    path = write_results(results, args.out, "BENCH_sim.json")
-    if path is not None:
-        print(f"wrote {path}")
+    emit_results(results, args.out, "BENCH_sim.json")
     return 1 if failures else 0
 
 

@@ -10,6 +10,7 @@ not reproducible evidence.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
@@ -18,7 +19,9 @@ from pathlib import Path
 from typing import Any, Optional
 
 __all__ = [
+    "bench_arg_parser",
     "bench_meta",
+    "emit_results",
     "git_revision",
     "repo_root",
     "write_results",
@@ -80,6 +83,40 @@ def write_results(
         return None
     path = Path(out) if out else repo_root() / default_name
     path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def bench_arg_parser(
+    doc: Optional[str],
+    default_name: str,
+    quick_help: str = "reduced workload (CI smoke run)",
+) -> argparse.ArgumentParser:
+    """The argument surface every live harness shares.
+
+    ``--quick`` and ``--out`` behave identically across harnesses
+    (``--out`` follows :func:`write_results`'s convention); callers add
+    their harness-specific flags on the returned parser.
+    """
+    parser = argparse.ArgumentParser(
+        description=(doc or "").splitlines()[0] if doc else None
+    )
+    parser.add_argument("--quick", action="store_true", help=quick_help)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write results JSON here "
+        f"(default: {default_name} in the repo root; '-' to skip)",
+    )
+    return parser
+
+
+def emit_results(
+    results: dict, out: Optional[str], default_name: str
+) -> Optional[Path]:
+    """:func:`write_results` plus the standard ``wrote <path>`` line."""
+    path = write_results(results, out, default_name)
+    if path is not None:
+        print(f"wrote {path}")
     return path
 
 

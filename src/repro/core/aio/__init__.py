@@ -19,12 +19,20 @@ or in-process via :class:`AioOuterServer` / :class:`AioInnerServer`
 from repro.core.aio.api import AioProxiedListener, AioProxyClient
 from repro.core.aio.firewall import GuardedDialer
 from repro.core.aio.mux import MUX_MAGIC, ChainReset, MuxConnector
-from repro.core.aio.pump import AdaptiveChunker, tune_stream
+from repro.core.aio.pump import AdaptiveChunker, SegmentBatcher, send_segments, tune_stream
 from repro.core.aio.relay import (
     AioInnerServer,
     AioOuterServer,
     AioRelayStats,
     Histogram,
+)
+from repro.core.aio.streams import (
+    DEFAULT_BLOCK,
+    DEFAULT_STREAMS,
+    DEFAULT_WINDOW,
+    StripeError,
+    recv_striped,
+    send_striped,
 )
 
 __all__ = [
@@ -35,9 +43,17 @@ __all__ = [
     "AioProxyClient",
     "AioRelayStats",
     "ChainReset",
+    "DEFAULT_BLOCK",
+    "DEFAULT_STREAMS",
+    "DEFAULT_WINDOW",
     "GuardedDialer",
     "Histogram",
     "MUX_MAGIC",
     "MuxConnector",
+    "SegmentBatcher",
+    "StripeError",
+    "recv_striped",
+    "send_segments",
+    "send_striped",
     "tune_stream",
 ]

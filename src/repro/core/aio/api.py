@@ -11,7 +11,7 @@ and whose ``accept`` (``NXProxyAccept``) yields chained-in peers.
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.aio.protocol import (
     ProtocolError,
@@ -19,6 +19,13 @@ from repro.core.aio.protocol import (
     write_control,
 )
 from repro.core.aio.pump import STREAM_LIMIT, tune_stream
+from repro.core.aio.streams import (
+    DEFAULT_BLOCK,
+    DEFAULT_STREAMS,
+    DEFAULT_WINDOW,
+    recv_striped,
+    send_striped,
+)
 from repro.core.protocol import NXProxyError
 from repro.obs import spans as _obs
 from repro.obs import trace as _trace
@@ -69,6 +76,12 @@ class AioProxiedListener:
         self._control_writer.close()
         self._local_server.close()
         await self._local_server.wait_closed()
+
+    async def recv_striped(self) -> "Tuple[bytes, Dict[str, Any]]":
+        """Receive one GridFTP-style striped bulk transfer whose
+        streams arrive as chained-in peers on this listener; returns
+        ``(data, report)`` (see :func:`repro.core.aio.streams.recv_striped`)."""
+        return await recv_striped(self.accept)
 
 
 class AioProxyClient:
@@ -150,6 +163,36 @@ class AioProxyClient:
 
     # Table 1 spelling.
     NXProxyConnect = connect
+
+    async def send_striped(
+        self,
+        host: str,
+        port: int,
+        data: "bytes | bytearray | memoryview",
+        *,
+        streams: int = DEFAULT_STREAMS,
+        block_bytes: int = DEFAULT_BLOCK,
+        window_blocks: int = DEFAULT_WINDOW,
+        reconnect: bool = True,
+    ) -> "Dict[str, Any]":
+        """Send ``data`` to ``host:port`` as a GridFTP-style striped
+        bulk transfer over ``streams`` parallel relayed connections.
+
+        Each stream is a full :meth:`connect` (its own relay chain);
+        the receiving side must be draining the same transfer — e.g.
+        :meth:`AioProxiedListener.recv_striped` behind a :meth:`bind`.
+        Returns the sender report (see
+        :func:`repro.core.aio.streams.send_striped`).
+        """
+
+        async def dial() -> StreamPair:
+            return await self.connect(host, port)
+
+        return await send_striped(
+            dial, data,
+            streams=streams, block_bytes=block_bytes,
+            window_blocks=window_blocks, reconnect=reconnect,
+        )
 
     # -- passive open (Fig. 4) --------------------------------------------------
 

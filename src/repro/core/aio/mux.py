@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 from repro.core.aio.pump import (
     STREAM_LIMIT,
     AdaptiveChunker,
+    SegmentBatcher,
     maybe_drain,
     tune_stream,
 )
@@ -131,6 +132,7 @@ class MuxChain:
         self._window_ok.set()
         self._reset: Optional[BaseException] = None
         self._sent_eof = False
+        self._recv_eof = False
         #: Set by the opening side while waiting for OPEN_OK/OPEN_ERR.
         self.open_reply: Optional[asyncio.Future] = None
         #: Bytes sent + received over this chain (stats).
@@ -163,7 +165,10 @@ class MuxChain:
                 raise ChainReset(str(self._reset))
             n = min(view.nbytes, self._send_window)
             self._send_window -= n
-            self._session.send_frame(self.chain_id, FrameType.DATA, bytes(view[:n]))
+            # Zero-copy: the frame carries a view of the caller's
+            # (immutable) buffer; the session batcher holds it — and
+            # thereby the base object — until the coalesced sendmsg.
+            self._session.send_frame(self.chain_id, FrameType.DATA, view[:n])
             self.bytes_moved += n
             view = view[n:]
             await maybe_drain(self._session.writer)
@@ -203,13 +208,25 @@ class MuxChain:
         self._window_ok.set()  # wake window waiters so they see the reset
         if self.open_reply is not None and not self.open_reply.done():
             self.open_reply.set_exception(ChainReset(str(exc)))
-        if self.reader.at_eof():
+        if self._recv_eof or self.reader.at_eof():
+            self._recv_eof = True
             return
+        self._recv_eof = True
         self.reader.feed_eof()
 
 
 class _MuxSession:
-    """Shared frame plumbing of one live mux connection (either side)."""
+    """Shared frame plumbing of one live mux connection (either side).
+
+    The write side is zero-copy: ``send_frame`` hands the packed
+    header and the payload *view* to a per-session
+    :class:`~repro.core.aio.pump.SegmentBatcher`, so every frame
+    queued within one event-loop tick leaves in a single coalesced
+    ``sendmsg`` — headers are never concatenated onto payloads and
+    payloads are never copied.  The read side parses whole batches of
+    frames out of one ``read()`` (``read_frames``) instead of two
+    ``readexactly`` awaits per frame.
+    """
 
     def __init__(
         self,
@@ -224,24 +241,77 @@ class _MuxSession:
         self.window = window
         self.chains: Dict[int, MuxChain] = {}
         self.alive = True
+        self.batcher = SegmentBatcher(writer, on_flush=self._on_flush)
 
-    def send_frame(self, chain_id: int, ftype: int, payload: bytes = b"") -> None:
+    def _on_flush(self, nbytes: int, nsegments: int) -> None:
+        self.stats.coalesced_flushes += 1
+        self.stats.coalesce_bytes.record(nbytes)
+
+    def send_frame(
+        self, chain_id: int, ftype: int, payload: "bytes | memoryview" = b""
+    ) -> None:
         if not self.alive:
             raise MuxError("mux link is down")
-        self.writer.write(_HEADER.pack(chain_id, ftype, len(payload)) + payload)
+        nbytes = payload.nbytes if isinstance(payload, memoryview) else len(payload)
+        self.batcher.add(_HEADER.pack(chain_id, ftype, nbytes), payload)
         self.stats.mux_frames += 1
 
-    async def read_frame(self) -> "tuple[int, int, bytes]":
-        header = await self.reader.readexactly(_HEADER.size)
-        chain_id, ftype, length = _HEADER.unpack(header)
-        if ftype not in FrameType.NAMES:
-            raise MuxError(f"unknown frame type {ftype}")
-        if length > MAX_FRAME_PAYLOAD:
-            raise MuxError(f"oversized frame ({length} bytes)")
-        payload = await self.reader.readexactly(length) if length else b""
-        return chain_id, ftype, payload
+    async def drain(self) -> None:
+        """Flush the coalescing batcher and wait out backpressure."""
+        self.batcher.flush()
+        await maybe_drain(self.writer)
 
-    def dispatch(self, chain_id: int, ftype: int, payload: bytes) -> bool:
+    async def read_frames(self):
+        """Yield ``(chain_id, ftype, payload_view)`` for every inbound
+        frame, reading the link in large batches.
+
+        One ``read()`` typically surfaces many coalesced frames; all
+        complete ones are parsed from a single buffer with
+        ``unpack_from`` and yielded as ``memoryview`` slices — the only
+        copy on the inbound hot path is the consumer's own
+        (``feed_data`` into a chain reader).  Each view is released
+        when the consumer returns, so consumers must not retain it
+        across an ``await``.  Raises :class:`MuxError` when the link
+        closes (cleanly or mid-frame).
+        """
+        buf = bytearray()
+        header_size = _HEADER.size
+        reader = self.reader
+        while True:
+            data = await reader.read(STREAM_LIMIT)
+            if not data:
+                raise MuxError(
+                    "mux link closed mid-frame" if buf else "mux link closed by peer"
+                )
+            buf += data
+            off = 0
+            blen = len(buf)
+            while blen - off >= header_size:
+                chain_id, ftype, length = _HEADER.unpack_from(buf, off)
+                if ftype not in FrameType.NAMES:
+                    raise MuxError(f"unknown frame type {ftype}")
+                if length > MAX_FRAME_PAYLOAD:
+                    raise MuxError(f"oversized frame ({length} bytes)")
+                if blen - off < header_size + length:
+                    break
+                start = off + header_size
+                off = start + length
+                if length:
+                    view = memoryview(buf)[start:off]
+                    try:
+                        yield chain_id, ftype, view
+                    finally:
+                        # The buffer is compacted below; a surviving
+                        # export would make ``del`` a BufferError.
+                        view.release()
+                else:
+                    yield chain_id, ftype, b""
+            if off:
+                del buf[:off]
+
+    def dispatch(
+        self, chain_id: int, ftype: int, payload: "bytes | memoryview"
+    ) -> bool:
         """Route one non-OPEN frame to its chain.
 
         Returns False for frames addressed to unknown chains — normal
@@ -252,9 +322,12 @@ class _MuxSession:
             return False
         if ftype == FrameType.DATA:
             chain.bytes_moved += len(payload)
-            chain.reader.feed_data(payload)
+            if not chain._recv_eof:
+                chain.reader.feed_data(payload)
         elif ftype == FrameType.EOF:
-            chain.reader.feed_eof()
+            if not chain._recv_eof:
+                chain._recv_eof = True
+                chain.reader.feed_eof()
         elif ftype == FrameType.WINDOW:
             (credit,) = _U32.unpack(payload)
             chain.add_credit(credit)
@@ -268,7 +341,9 @@ class _MuxSession:
                     fut.set_result(None)
                 else:
                     fut.set_exception(
-                        ChainReset(payload.decode("utf-8", "replace") or "refused")
+                        ChainReset(
+                            bytes(payload).decode("utf-8", "replace") or "refused"
+                        )
                     )
         return True
 
@@ -276,6 +351,7 @@ class _MuxSession:
         """Link died: abort every chain (their TCP connections would
         have died with a real single-connection pinhole too)."""
         self.alive = False
+        self.batcher.close()
         chains, self.chains = self.chains, {}
         for chain in chains.values():
             chain.abort(exc)
@@ -423,8 +499,7 @@ class MuxConnector:
                 self.inner_host, self.inner_port, self.connects,
             )
             try:
-                while True:
-                    chain_id, ftype, payload = await session.read_frame()
+                async for chain_id, ftype, payload in session.read_frames():
                     session.dispatch(chain_id, ftype, payload)
             except (asyncio.IncompleteReadError, ConnectionError, OSError, MuxError) as exc:
                 self._session_ready.clear()
@@ -499,7 +574,7 @@ class MuxConnector:
             open_req["tctx"] = tctx
         payload = json.dumps(open_req).encode()
         session.send_frame(chain_id, FrameType.OPEN, payload)
-        await session.writer.drain()
+        await session.drain()
         try:
             await asyncio.wait_for(asyncio.shield(chain.open_reply), self.open_timeout)
         except (ChainReset, asyncio.TimeoutError):
@@ -543,10 +618,17 @@ async def serve_mux_session(
     *,
     window: int = DEFAULT_WINDOW,
     chunk: int = 4096,
+    adopt=None,
+    disown=None,
 ) -> None:
     """Inner-server end of a mux link (the ``MUX_MAGIC`` line has
     already been consumed by the caller).  Serves OPEN requests until
-    the link closes."""
+    the link closes.
+
+    ``adopt``/``disown`` register the onward sockets this session
+    dials for each chain with the owning daemon, so daemon shutdown
+    aborts chains still mid-transfer instead of leaking them.
+    """
     session = _MuxSession(reader, writer, stats, window)
     tasks: set[asyncio.Task] = set()
 
@@ -564,6 +646,8 @@ async def serve_mux_session(
                 session.send_frame(chain_id, FrameType.OPEN_ERR, str(exc).encode())
             return
         tune_stream(onward_w)
+        if adopt is not None:
+            adopt(onward_w)
         stats.passive_chains += 1
         chain = session.chains[chain_id]
         # Optional causal trace tag; absent from seed-era peers.
@@ -579,17 +663,20 @@ async def serve_mux_session(
         try:
             await _run_chain_pumps(chain, onward_r, onward_w, stats, chunk)
         finally:
+            if disown is not None:
+                disown(onward_w)
             if session.chains.pop(chain_id, None) is not None and session.alive:
                 chain.send_rst()
 
     try:
-        while True:
-            chain_id, ftype, payload = await session.read_frame()
+        async for chain_id, ftype, payload in session.read_frames():
             if ftype == FrameType.OPEN:
                 if chain_id in session.chains:
                     raise MuxError(f"duplicate OPEN for chain {chain_id}")
                 session.chains[chain_id] = MuxChain(session, chain_id, window)
-                task = asyncio.ensure_future(handle_open(chain_id, payload))
+                # The payload view dies when this iteration returns;
+                # the scheduled handler needs its own copy.
+                task = asyncio.ensure_future(handle_open(chain_id, bytes(payload)))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
             else:

@@ -31,6 +31,7 @@ __all__ = [
     "write_control",
     "ok_reply",
     "error_reply",
+    "steal_reader_buffer",
 ]
 
 #: Upper bound on a control line; anything longer is a protocol error
@@ -98,3 +99,23 @@ def require_port(value: Any) -> int:
     if not isinstance(value, int) or not (1 <= value <= 65535):
         raise ProtocolError(f"invalid port: {value!r}")
     return value
+
+
+def steal_reader_buffer(reader: asyncio.StreamReader) -> "bytes | None":
+    """Detach bytes the stream layer read past the control handshake.
+
+    When a connection switches from line-oriented control traffic to
+    the zero-copy byte plane, any payload the peer sent back-to-back
+    with its control line is already sitting in the StreamReader's
+    internal buffer — it must be forwarded before the transport's
+    protocol is swapped, or it is silently lost.  Returns the buffered
+    bytes (possibly ``b""``) and empties the reader, or ``None`` when
+    the reader's internals are not the expected shape (the caller then
+    stays on the stream pump instead of swapping protocols).
+    """
+    buf = getattr(reader, "_buffer", None)
+    if not isinstance(buf, bytearray):
+        return None
+    data = bytes(buf)
+    buf.clear()
+    return data

@@ -18,18 +18,36 @@ live pump now:
   transport's write-buffer limits, so latency-sensitive control
   round-trips never ride Nagle defaults.
 
-``pump()`` is the single shared copy loop: both directions of an
-active (Fig. 3) relay, both legs of a legacy passive chain, and both
-socket-facing halves of a mux chain use it.
+``pump()`` is the single shared copy loop for stream-based legs; on
+top of it this module now provides the *zero-copy* primitives the hot
+bulk path runs on:
+
+* :func:`send_segments` — scatter-gather writes: when the transport's
+  buffer is empty the segment list goes straight to the kernel with
+  one ``socket.sendmsg``, so frame headers ride alongside payload
+  ``memoryview``\\ s without ever being concatenated; only the
+  backpressured remainder is copied into the transport.
+* :class:`SegmentBatcher` — per-connection small-frame coalescing:
+  frames queued in one event-loop tick are flushed together (one
+  ``sendmsg`` per drain), bounded by a configurable coalesce budget.
+* :func:`relay_sockets_zero_copy` — swaps an established
+  socket↔socket relay leg from stream pumps to a pair of
+  ``asyncio.BufferedProtocol`` ends whose reads land in a reusable
+  ``memoryview`` ring buffer (``recv_into`` instead of ``recv``) and
+  are forwarded inside the read callback — no per-chunk task wake-up,
+  no StreamReader buffering, and no copy at all when the destination
+  socket takes the bytes immediately.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import socket as _socket
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence, Union
 
+from repro.core.aio.protocol import steal_reader_buffer
 from repro.obs import spans as _obs
 
 __all__ = [
@@ -37,11 +55,17 @@ __all__ = [
     "MAX_CHUNK",
     "STREAM_LIMIT",
     "WRITE_HIGH_WATER",
+    "COALESCE_BUDGET",
     "AdaptiveChunker",
+    "SegmentBatcher",
     "tune_stream",
     "writer_backpressured",
     "maybe_drain",
     "pump",
+    "segment_nbytes",
+    "send_segments",
+    "relay_sockets_zero_copy",
+    "steal_reader_buffer",
 ]
 
 #: Starting (and legacy fixed) relay read size.
@@ -53,6 +77,14 @@ MAX_CHUNK = 256 * 1024
 STREAM_LIMIT = 2 * MAX_CHUNK
 #: Write-buffer high-water mark for relay transports.
 WRITE_HIGH_WATER = 2 * MAX_CHUNK
+#: Default coalesce budget: once this many bytes are pending in a
+#: :class:`SegmentBatcher` the batch is flushed immediately instead of
+#: waiting for the end of the event-loop tick.
+COALESCE_BUDGET = 64 * 1024
+#: ``sendmsg`` vector-length cap (conservative portable IOV_MAX).
+_IOV_MAX = 512
+
+Segment = Union[bytes, bytearray, memoryview]
 
 
 class AdaptiveChunker:
@@ -173,3 +205,424 @@ async def pump(
         with contextlib.suppress(Exception):
             writer.write_eof()
     return moved
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy write side: scatter-gather sends and frame coalescing.
+# ---------------------------------------------------------------------------
+
+
+def segment_nbytes(segments: Sequence[Segment]) -> int:
+    """Total payload bytes across a segment list."""
+    total = 0
+    for seg in segments:
+        total += seg.nbytes if isinstance(seg, memoryview) else len(seg)
+    return total
+
+
+def _queue_remainder(
+    transport: asyncio.Transport, segments: Sequence[Segment], skip: int
+) -> None:
+    """Copy everything past the first ``skip`` bytes into the
+    transport's write buffer (the one copy on the backpressure path)."""
+    rem = bytearray()
+    for seg in segments:
+        n = seg.nbytes if isinstance(seg, memoryview) else len(seg)
+        if skip >= n:
+            skip -= n
+            continue
+        if skip:
+            rem += memoryview(seg)[skip:]
+            skip = 0
+        else:
+            rem += seg
+    if rem:
+        transport.write(bytes(rem))
+
+
+#: ``os.writev`` is the scatter-gather syscall the direct path rides;
+#: absent (non-POSIX) platforms fall back to transport writes.
+_HAVE_WRITEV = hasattr(os, "writev")
+
+
+def transport_fd(transport: asyncio.BaseTransport) -> Optional[int]:
+    """The raw socket file descriptor behind a transport, or ``None``.
+
+    asyncio wraps sockets in ``TransportSocket``, which hides the send
+    methods — but the fd is enough for direct ``os.write``/``writev``.
+    """
+    sock = transport.get_extra_info("socket")
+    if sock is None:
+        return None
+    try:
+        fd = sock.fileno()
+    except (OSError, ValueError):
+        return None
+    return fd if fd >= 0 else None
+
+
+def _sendmsg_direct(
+    transport: asyncio.Transport,
+    fd: Optional[int],
+    segments: Sequence[Segment],
+    total: int,
+) -> None:
+    """Push a segment list out with one ``writev`` when the transport
+    is idle, queueing only the unsent remainder.
+
+    Ordering is safe exactly when the transport's own buffer is empty:
+    nothing queued can be overtaken by the direct send.  Any error on
+    the direct path falls back to the transport, whose own machinery
+    surfaces the failure.
+    """
+    sent = 0
+    if (
+        fd is not None
+        and _HAVE_WRITEV
+        and not transport.is_closing()
+        and transport.get_write_buffer_size() == 0
+    ):
+        vec = segments if len(segments) <= _IOV_MAX else segments[:_IOV_MAX]
+        try:
+            sent = os.writev(fd, vec)
+        except (BlockingIOError, InterruptedError):
+            sent = 0
+        except OSError:
+            sent = 0
+    if sent < total:
+        _queue_remainder(transport, segments, sent)
+
+
+def send_segments(writer: asyncio.StreamWriter, segments: Sequence[Segment]) -> int:
+    """Scatter-gather write of header/payload segments.
+
+    The zero-copy replacement for ``writer.write(header + payload)``:
+    when the transport's write buffer is empty the segments go to the
+    kernel in one ``writev`` without ever being joined; under
+    backpressure the remainder is copied once into the transport, which
+    keeps asyncio's flow control exact.  Returns the byte total.
+    """
+    total = segment_nbytes(segments)
+    if total == 0:
+        return 0
+    _sendmsg_direct(
+        writer.transport, transport_fd(writer.transport), segments, total
+    )
+    return total
+
+
+class SegmentBatcher:
+    """Small-frame coalescing for one connection.
+
+    Frames queued within a single event-loop tick are flushed together
+    with one :func:`send_segments` call (one ``sendmsg`` per drain), so
+    a burst of small mux frames — WINDOW updates, tiny DATA frames from
+    chatty chains — costs one syscall instead of one each.  A flush
+    happens no later than the next loop iteration (``call_soon``), or
+    immediately once the pending byte total reaches ``budget``, which
+    bounds both latency and the memory pinned by queued views.
+
+    Segments must stay valid until flushed: callers hand in immutable
+    ``bytes`` or views over buffers they will not recycle before the
+    next loop tick.
+    """
+
+    __slots__ = (
+        "_writer",
+        "budget",
+        "on_flush",
+        "_segments",
+        "_pending",
+        "_scheduled",
+        "_closed",
+        "flushes",
+        "bytes_flushed",
+    )
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        *,
+        budget: int = COALESCE_BUDGET,
+        on_flush: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if budget <= 0:
+            raise ValueError(f"coalesce budget must be positive, got {budget}")
+        self._writer = writer
+        self.budget = budget
+        #: ``on_flush(nbytes, nsegments)`` fires once per non-empty flush.
+        self.on_flush = on_flush
+        self._segments: List[Segment] = []
+        self._pending = 0
+        self._scheduled = False
+        self._closed = False
+        self.flushes = 0
+        self.bytes_flushed = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._pending
+
+    def add(self, *segments: Segment) -> None:
+        """Queue segments for the next coalesced flush."""
+        if self._closed:
+            return
+        for seg in segments:
+            n = seg.nbytes if isinstance(seg, memoryview) else len(seg)
+            if n:
+                self._segments.append(seg)
+                self._pending += n
+        if self._pending >= self.budget:
+            self.flush()
+        elif self._segments and not self._scheduled:
+            self._scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush_scheduled)
+
+    def _flush_scheduled(self) -> None:
+        self._scheduled = False
+        if not self._closed:
+            self.flush()
+
+    def flush(self) -> int:
+        """Send everything pending in one scatter-gather write; returns
+        the byte count (0 for an empty flush, which sends nothing)."""
+        if not self._segments:
+            return 0
+        segments, self._segments = self._segments, []
+        nbytes, self._pending = self._pending, 0
+        send_segments(self._writer, segments)
+        self.flushes += 1
+        self.bytes_flushed += nbytes
+        if self.on_flush is not None:
+            self.on_flush(nbytes, len(segments))
+        return nbytes
+
+    def close(self) -> None:
+        """Drop pending segments and refuse further adds (teardown)."""
+        self._closed = True
+        self._segments.clear()
+        self._pending = 0
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy read side: BufferedProtocol relay ends (recv_into).
+# ---------------------------------------------------------------------------
+
+
+class _RelayEnd(asyncio.BufferedProtocol):
+    """One direction of a protocol-swapped socket↔socket relay.
+
+    The event loop reads straight into this end's reusable
+    ``memoryview`` buffer (``recv_into``); ``buffer_updated`` forwards
+    the filled view to the peer transport inside the read callback —
+    directly to the peer socket when its transport is idle (no copy at
+    all), otherwise one copy into the peer's write buffer.  asyncio's
+    write-side flow control maps onto the peer's read side:
+    ``pause_writing`` on this transport pauses the *peer's* reading.
+    """
+
+    __slots__ = (
+        "transport",
+        "fd",
+        "peer",
+        "moved",
+        "direct_bytes",
+        "_buf",
+        "_view",
+        "_on_chunk",
+        "_done",
+        "_read_eof",
+    )
+
+    def __init__(
+        self,
+        done: "asyncio.Future[int]",
+        on_chunk: Optional[Callable[[int], None]] = None,
+        buf_size: int = MAX_CHUNK,
+    ) -> None:
+        self.transport: Optional[asyncio.Transport] = None
+        self.fd: Optional[int] = None
+        self.peer: "_RelayEnd" = self  # re-pointed by the pairing code
+        self.moved = 0
+        #: Bytes that went peer-socket-direct without any userspace copy.
+        self.direct_bytes = 0
+        self._buf = bytearray(buf_size)
+        self._view = memoryview(self._buf)
+        self._on_chunk = on_chunk
+        self._done = done
+        self._read_eof = False
+
+    def attach(self, transport: asyncio.Transport) -> None:
+        self.transport = transport
+        self.fd = transport_fd(transport)
+
+    # -- reads ------------------------------------------------------------
+
+    def get_buffer(self, sizehint: int) -> memoryview:
+        return self._view
+
+    def buffer_updated(self, nbytes: int) -> None:
+        self.moved += nbytes
+        if self._on_chunk is not None:
+            self._on_chunk(nbytes)
+        peer_t = self.peer.transport
+        if peer_t is None or peer_t.is_closing():
+            return
+        view = self._view[:nbytes]
+        sent = 0
+        if self.peer.fd is not None and peer_t.get_write_buffer_size() == 0:
+            try:
+                sent = os.write(self.peer.fd, view)
+            except (BlockingIOError, InterruptedError):
+                sent = 0
+            except OSError:
+                sent = 0
+            else:
+                self.direct_bytes += sent
+        if sent < nbytes:
+            peer_t.write(bytes(view[sent:]))
+
+    def eof_received(self) -> bool:
+        self._read_eof = True
+        peer_t = self.peer.transport
+        if peer_t is not None and not peer_t.is_closing():
+            try:
+                peer_t.write_eof()
+            except (OSError, RuntimeError):
+                peer_t.close()
+        self._maybe_finish()
+        # Keep our transport open: the peer may still send toward us.
+        return True
+
+    def _maybe_finish(self) -> None:
+        """Both directions saw EOF → close both transports (close()
+        flushes queued writes first)."""
+        if self._read_eof and self.peer._read_eof:
+            for end in (self, self.peer):
+                t = end.transport
+                if t is not None and not t.is_closing():
+                    t.close()
+
+    # -- write-side flow control → peer's read side ------------------------
+
+    def pause_writing(self) -> None:
+        pt = self.peer.transport
+        if pt is not None:
+            with contextlib.suppress(RuntimeError):
+                pt.pause_reading()
+
+    def resume_writing(self) -> None:
+        pt = self.peer.transport
+        if pt is not None:
+            with contextlib.suppress(RuntimeError):
+                pt.resume_reading()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def connection_lost(self, exc: Optional[BaseException]) -> None:
+        self.transport = None
+        self.fd = None
+        pt = self.peer.transport
+        if pt is not None and not pt.is_closing():
+            pt.close()
+        if not self._done.done():
+            self._done.set_result(self.moved)
+
+
+def _zero_copy_supported(transport: asyncio.BaseTransport) -> bool:
+    """Protocol swapping needs a raw socket and a selector-style
+    transport; anything else stays on the stream pump."""
+    return (
+        transport is not None
+        and not transport.is_closing()
+        and transport.get_extra_info("socket") is not None
+        and hasattr(transport, "set_protocol")
+        and hasattr(transport, "pause_reading")
+    )
+
+
+async def relay_sockets_zero_copy(
+    a_reader: asyncio.StreamReader,
+    a_writer: asyncio.StreamWriter,
+    b_reader: asyncio.StreamReader,
+    b_writer: asyncio.StreamWriter,
+    *,
+    on_chunk: Optional[Callable[[int], None]] = None,
+) -> "Optional[tuple[int, int]]":
+    """Bidirectional zero-copy relay between two established streams.
+
+    Swaps both connections' protocols to :class:`_RelayEnd` buffered
+    protocols, so from here on the event loop ``recv_into``\\ s a
+    reusable buffer and forwards inside the read callback — no
+    StreamReader, no per-chunk task wake-up, no copy when the
+    destination socket keeps up.  Any bytes the stream layer had
+    already buffered (payload pipelined behind the control handshake)
+    are forwarded first.
+
+    Returns ``(a_to_b_bytes, b_to_a_bytes)`` after both directions
+    complete, or ``None`` without side effects when either transport
+    cannot be swapped (the caller falls back to the stream pump).
+    """
+    ta = a_writer.transport
+    tb = b_writer.transport
+    if not (_zero_copy_supported(ta) and _zero_copy_supported(tb)):
+        return None
+    leftover_a = steal_reader_buffer(a_reader)
+    leftover_b = steal_reader_buffer(b_reader)
+    if leftover_a is None or leftover_b is None:
+        return None
+
+    loop = asyncio.get_running_loop()
+    done_a: "asyncio.Future[int]" = loop.create_future()
+    done_b: "asyncio.Future[int]" = loop.create_future()
+    end_a = _RelayEnd(done_a, on_chunk)
+    end_b = _RelayEnd(done_b, on_chunk)
+    end_a.peer = end_b
+    end_b.peer = end_a
+    end_a.attach(ta)
+    end_b.attach(tb)
+
+    ta.set_protocol(end_a)
+    tb.set_protocol(end_b)
+    # The stream layer may have paused reading against its limit.
+    for t in (ta, tb):
+        with contextlib.suppress(RuntimeError):
+            t.resume_reading()
+
+    # Replay what the stream layer already consumed from each socket.
+    for leftover, end, peer_t in (
+        (leftover_a, end_a, tb),
+        (leftover_b, end_b, ta),
+    ):
+        if leftover:
+            end.moved += len(leftover)
+            if on_chunk is not None:
+                on_chunk(len(leftover))
+            peer_t.write(leftover)
+    for reader, end, peer_t in (
+        (a_reader, end_a, tb),
+        (b_reader, end_b, ta),
+    ):
+        if reader.at_eof():
+            end._read_eof = True
+            with contextlib.suppress(OSError, RuntimeError):
+                peer_t.write_eof()
+    end_a._maybe_finish()
+
+    try:
+        moved_a = await done_a
+        moved_b = await done_b
+    except asyncio.CancelledError:
+        for t in (end_a.transport, end_b.transport):
+            if t is not None:
+                with contextlib.suppress(Exception):
+                    t.abort()
+        raise
+    rec = _obs.RECORDER
+    if rec is not None:
+        rec.wall_instant(
+            "pump", "zero_copy_done", track="pump",
+            a_to_b=moved_a, b_to_a=moved_b,
+            direct=end_a.direct_bytes + end_b.direct_bytes,
+        )
+    return moved_a, moved_b

@@ -48,6 +48,7 @@ from repro.core.aio.pump import (
     MIN_CHUNK,
     STREAM_LIMIT,
     pump,
+    relay_sockets_zero_copy,
     tune_stream,
 )
 from repro.obs import spans as _obs
@@ -96,6 +97,10 @@ class AioRelayStats:
     mux_reconnects: int = 0
     #: Times a mux chain sender blocked on an exhausted credit window.
     mux_window_stalls: int = 0
+    #: Coalesced scatter-gather flushes (one ``sendmsg`` each).
+    coalesced_flushes: int = 0
+    #: Per-flush coalesced batch sizes (log2 buckets of bytes).
+    coalesce_bytes: Histogram = field(default_factory=Histogram)
     #: Per-chunk forwarded-size histogram (log2 buckets of bytes).
     chunk_bytes: Histogram = field(default_factory=Histogram)
     #: Per-chain lifetime byte totals (log2 buckets of bytes).
@@ -127,6 +132,8 @@ class AioRelayStats:
             "mux_frames": self.mux_frames,
             "mux_reconnects": self.mux_reconnects,
             "mux_window_stalls": self.mux_window_stalls,
+            "coalesced_flushes": self.coalesced_flushes,
+            "coalesce_bytes_hist": self.coalesce_bytes.to_dict(),
             "chunk_bytes_hist": self.chunk_bytes.to_dict(),
             "chain_bytes_hist": self.chain_bytes.to_dict(),
             "chain_setup_us_hist": self.chain_setup_us.to_dict(),
@@ -144,11 +151,17 @@ def graceful_handler(fn):
     """
 
     async def wrapper(self, reader, writer):
+        # Satellite fix (ISSUE 6): every accepted connection is
+        # registered for the daemon's lifetime so ``stop()`` can abort
+        # sockets still mid-transfer, not just close the listeners.
+        self.adopt(writer)
         try:
             await fn(self, reader, writer)
         except asyncio.CancelledError:
             with contextlib.suppress(Exception):
                 writer.close()
+        finally:
+            self.disown(writer)
 
     return wrapper
 
@@ -178,8 +191,22 @@ async def _relay_pair(
     chunk: int,
     pump_mode: str = "adaptive",
 ) -> None:
-    """Bidirectional relay; returns when both directions finish."""
+    """Bidirectional relay; returns when both directions finish.
+
+    In adaptive mode the pair is first handed to the zero-copy
+    buffered-protocol relay (``recv_into`` ring buffers, direct socket
+    forwarding); transports that cannot be protocol-swapped fall back
+    to the stream pumps.  ``pump_mode="fixed"`` always takes the
+    stream path — it *is* the seed baseline under ablation.
+    """
     try:
+        if pump_mode == "adaptive":
+            moved = await relay_sockets_zero_copy(
+                a_reader, a_writer, b_reader, b_writer,
+                on_chunk=stats.on_chunk,
+            )
+            if moved is not None:
+                return
         await asyncio.gather(
             _pump(a_reader, b_writer, stats, chunk, pump_mode),
             _pump(b_reader, a_writer, stats, chunk, pump_mode),
@@ -210,6 +237,16 @@ class _Server:
         self.stream_limit = STREAM_LIMIT if pump_mode == "adaptive" else 2 ** 16
         self.stats = AioRelayStats()
         self._server: Optional[asyncio.base_events.Server] = None
+        #: Live per-connection writers (accepted *and* onward/per-stream
+        #: sockets registered mid-transfer) — aborted by ``stop()``.
+        self._conns: "set[asyncio.StreamWriter]" = set()
+
+    def adopt(self, writer: asyncio.StreamWriter) -> None:
+        """Track a connection so daemon shutdown can abort it."""
+        self._conns.add(writer)
+
+    def disown(self, writer: asyncio.StreamWriter) -> None:
+        self._conns.discard(writer)
 
     def tune(self, writer: asyncio.StreamWriter) -> None:
         """Apply socket tuning — a no-op in the seed-baseline mode."""
@@ -228,6 +265,13 @@ class _Server:
         return self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
+        # Abort sockets still registered mid-transfer: closing only the
+        # listeners would leave established relay/stream connections —
+        # and their pump tasks — alive past daemon shutdown.
+        conns, self._conns = list(self._conns), set()
+        for w in conns:
+            with contextlib.suppress(Exception):
+                w.transport.abort()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -342,23 +386,28 @@ class AioOuterServer(_Server):
             writer.close()
             return
         self.tune(onward_w)
+        self.adopt(onward_w)
         self.stats.active_connects += 1
         write_control(writer, ok_reply())
         await writer.drain()
         ctx = _trace.accept(msg.get("tctx"))
-        rec = _obs.RECORDER
-        if rec is not None:
-            with rec.wall_span("relay", "active_chain", track=f"outer:{self.host}",
-                               dest=f"{msg['host']}:{msg['port']}",
-                               **_trace.span_args(ctx)):
-                await _relay_pair(
-                    reader, writer, onward_r, onward_w, self.stats, self.chunk,
-                    self.pump_mode,
-                )
-            return
-        await _relay_pair(
-            reader, writer, onward_r, onward_w, self.stats, self.chunk, self.pump_mode
-        )
+        try:
+            rec = _obs.RECORDER
+            if rec is not None:
+                with rec.wall_span("relay", "active_chain", track=f"outer:{self.host}",
+                                   dest=f"{msg['host']}:{msg['port']}",
+                                   **_trace.span_args(ctx)):
+                    await _relay_pair(
+                        reader, writer, onward_r, onward_w, self.stats, self.chunk,
+                        self.pump_mode,
+                    )
+                return
+            await _relay_pair(
+                reader, writer, onward_r, onward_w, self.stats, self.chunk,
+                self.pump_mode,
+            )
+        finally:
+            self.disown(onward_w)
 
     async def _handle_bind(self, msg, reader, writer) -> None:
         try:
@@ -387,11 +436,14 @@ class AioOuterServer(_Server):
                 )
 
         async def on_peer(pr: asyncio.StreamReader, pw: asyncio.StreamWriter) -> None:
+            self.adopt(pw)
             try:
                 await _chain_peer(pr, pw)
             except asyncio.CancelledError:
                 with contextlib.suppress(Exception):
                     pw.close()
+            finally:
+                self.disown(pw)
 
         async def _chain_peer(pr: asyncio.StreamReader, pw: asyncio.StreamWriter) -> None:
             self.tune(pw)
@@ -446,16 +498,21 @@ class AioOuterServer(_Server):
                 pw.close()
                 return
             self.stats.passive_chains += 1
-            rec = _obs.RECORDER
-            if rec is not None:
-                with rec.wall_span("relay", "passive_chain",
-                                   track=f"outer:{self.host}",
-                                   client=f"{client_host}:{client_port}",
-                                   **_trace.span_args(chain_ctx)):
-                    await _relay_pair(pr, pw, ir, iw, self.stats, self.chunk,
-                                      self.pump_mode)
-                return
-            await _relay_pair(pr, pw, ir, iw, self.stats, self.chunk, self.pump_mode)
+            self.adopt(iw)
+            try:
+                rec = _obs.RECORDER
+                if rec is not None:
+                    with rec.wall_span("relay", "passive_chain",
+                                       track=f"outer:{self.host}",
+                                       client=f"{client_host}:{client_port}",
+                                       **_trace.span_args(chain_ctx)):
+                        await _relay_pair(pr, pw, ir, iw, self.stats, self.chunk,
+                                          self.pump_mode)
+                    return
+                await _relay_pair(pr, pw, ir, iw, self.stats, self.chunk,
+                                  self.pump_mode)
+            finally:
+                self.disown(iw)
 
         public = await asyncio.start_server(
             on_peer, self.host, 0, limit=self.stream_limit
@@ -547,7 +604,8 @@ class AioInnerServer(_Server):
         if line == MUX_MAGIC:
             log.info("nxport connection switched to mux framing")
             await serve_mux_session(
-                reader, writer, self.stats, chunk=self.chunk
+                reader, writer, self.stats, chunk=self.chunk,
+                adopt=self.adopt, disown=self.disown,
             )
             with contextlib.suppress(Exception):
                 writer.close()
@@ -574,6 +632,7 @@ class AioInnerServer(_Server):
             writer.close()
             return
         self.tune(onward_w)
+        self.adopt(onward_w)
         self.stats.passive_chains += 1
         write_control(writer, ok_reply())
         await writer.drain()
@@ -583,6 +642,10 @@ class AioInnerServer(_Server):
             rec.wall_instant("relay", "legacy_chain", track=f"inner:{self.host}",
                              dest=f"{msg['host']}:{msg['port']}",
                              **_trace.span_args(ctx))
-        await _relay_pair(
-            reader, writer, onward_r, onward_w, self.stats, self.chunk, self.pump_mode
-        )
+        try:
+            await _relay_pair(
+                reader, writer, onward_r, onward_w, self.stats, self.chunk,
+                self.pump_mode,
+            )
+        finally:
+            self.disown(onward_w)

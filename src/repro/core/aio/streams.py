@@ -1,0 +1,574 @@
+"""GridFTP-style parallel-stream bulk transfers (striping layer).
+
+The NorduGrid and Pamela GridFTP evaluations (PAPERS.md) both find
+that striping one logical transfer across *k* parallel TCP streams is
+the single biggest lever for wide-area bulk throughput: each stream
+ratchets its own congestion/flow-control window, so the aggregate is
+no longer bounded by one window-per-RTT pipe.  This module layers the
+same idea over relay chains: a logical transfer is split into
+offset-tagged blocks sprayed over *k* independent connections (each
+one a full relay chain through the nxport), with GridFTP-style
+*restart markers* flowing back so a dying stream never restarts the
+transfer from offset 0.
+
+Wire format (per stream)
+------------------------
+
+Each stream begins with one newline-terminated JSON hello::
+
+    {"stripe": 1, "xfer": ID, "stream": i, "streams": k,
+     "total": N, "block": B}
+
+after which both directions speak fixed 13-byte binary frames
+(``!BQI`` — type u8, offset u64, length u32):
+
+* ``BLOCK`` (sender→sink) — ``length`` payload bytes at ``offset``;
+  sent with one scatter-gather :func:`~repro.core.aio.pump.send_segments`
+  (header alongside a ``memoryview`` of the source buffer — zero-copy).
+* ``END``   (sender→sink) — this stream will send no more blocks.
+* ``MARK``  (sink→sender) — restart marker: every byte below
+  ``offset`` has been received contiguously.  The sink emits one
+  whenever its contiguous watermark advances, and immediately on any
+  (re)joining stream, so a replacement stream learns the watermark
+  before it sends a byte.
+
+The sender requeues a dead stream's unacknowledged blocks (those at or
+above the latest restart marker) onto its siblings and, by default,
+dials a replacement stream — the transfer completes without
+retransmitting anything the sink already acknowledged.  The sink
+reassembles out-of-order blocks in place in a preallocated buffer and
+drops duplicates (a requeued block racing its original).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import struct
+import uuid
+from collections import deque
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.core.aio.protocol import ProtocolError, parse_control_line
+from repro.core.aio.pump import maybe_drain, send_segments, tune_stream
+from repro.obs import spans as _obs
+
+__all__ = [
+    "DEFAULT_BLOCK",
+    "DEFAULT_STREAMS",
+    "StripeError",
+    "send_striped",
+    "recv_striped",
+]
+
+#: Default stripe block size.  Large enough that per-block framing and
+#: restart markers are noise; small enough that k streams interleave.
+DEFAULT_BLOCK = 256 * 1024
+#: Default stream count (the GridFTP literature's sweet spot is 4-8).
+DEFAULT_STREAMS = 4
+#: Default per-stream inflight window, in blocks.  A stream stalls once
+#: this many of its blocks sit above the sink's restart marker — the
+#: stripe-level analogue of a TCP window, and the reason k streams beat
+#: one: aggregate inflight scales with k while each stream's burst (and
+#: the sink's reorder buffer per stream) stays bounded.
+DEFAULT_WINDOW = 32
+
+#: Per-stream frame header: type, offset, length.
+_FRAME = struct.Struct("!BQI")
+
+_BLOCK = 1
+_END = 2
+_MARK = 3
+
+ConnectFn = Callable[[], Awaitable[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]]
+
+
+class StripeError(ConnectionError):
+    """A striped transfer could not complete."""
+
+
+def _hello_line(xfer: str, stream: int, streams: int, total: int, block: int) -> bytes:
+    return (
+        json.dumps(
+            {"stripe": 1, "xfer": xfer, "stream": stream, "streams": streams,
+             "total": total, "block": block},
+            separators=(",", ":"),
+        ).encode()
+        + b"\n"
+    )
+
+
+class _StreamDied(Exception):
+    """Internal: one stream's connection failed mid-transfer."""
+
+    def __init__(self, inflight: "set[int]") -> None:
+        super().__init__("stripe stream died")
+        self.inflight = inflight
+
+
+class _SendState:
+    """Shared progress of one striped send across its stream tasks."""
+
+    __slots__ = (
+        "view", "total", "block", "pending", "watermark", "bytes_sent",
+        "blocks_sent", "requeued_blocks", "reconnects", "_progress",
+    )
+
+    def __init__(self, view: memoryview, block: int) -> None:
+        self.view = view
+        self.total = view.nbytes
+        self.block = block
+        self.pending: "deque[int]" = deque(range(0, self.total, block))
+        #: Contiguous byte count acknowledged by the sink (max MARK seen).
+        self.watermark = 0
+        self.bytes_sent = 0
+        self.blocks_sent = 0
+        self.requeued_blocks = 0
+        self.reconnects = 0
+        self._progress = asyncio.Event()
+
+    @property
+    def done(self) -> bool:
+        return self.watermark >= self.total
+
+    def notify(self) -> None:
+        """Wake every stream waiting on progress (mark or requeue)."""
+        event, self._progress = self._progress, asyncio.Event()
+        event.set()
+
+    async def wait_progress(self) -> None:
+        event = self._progress
+        await event.wait()
+
+    def mark(self, offset: int) -> None:
+        if offset > self.watermark:
+            self.watermark = offset
+            self.notify()
+
+    def requeue(self, offsets: "set[int]") -> None:
+        """Put a dead stream's unacknowledged blocks back in play."""
+        stale = sorted(o for o in offsets if o + 1 > self.watermark)
+        for off in stale:
+            if off not in self.pending:
+                self.pending.append(off)
+                self.requeued_blocks += 1
+        if stale:
+            self.notify()
+
+
+async def _read_marks(
+    reader: asyncio.StreamReader, state: _SendState
+) -> None:
+    """Consume restart markers from the sink; EOF/garbage ends the
+    stream (the caller treats that as stream death)."""
+    while True:
+        header = await reader.readexactly(_FRAME.size)
+        ftype, offset, _length = _FRAME.unpack(header)
+        if ftype != _MARK:
+            raise StripeError(f"unexpected frame type {ftype} from sink")
+        state.mark(offset)
+        if state.done:
+            return
+
+
+async def _stream_send_loop(
+    writer: asyncio.StreamWriter,
+    state: _SendState,
+    inflight: "set[int]",
+    stream_idx: int,
+    window_blocks: int,
+    on_block: Optional[Callable[[int, int, int], Any]],
+) -> None:
+    rec = _obs.RECORDER
+    while not state.done:
+        if writer.transport.is_closing():
+            raise ConnectionResetError("stripe stream transport closing")
+        # Acknowledged blocks need no tracking (never requeued).
+        if inflight and state.watermark:
+            inflight.difference_update(
+                [o for o in inflight if o + state.block <= state.watermark]
+            )
+        if len(inflight) >= window_blocks:
+            # Window full: every slot is above the restart marker.
+            # Stall until marks advance (or a sibling's death requeues).
+            if rec is not None:
+                rec.count_pair("stripe.window_stalls", f"s{stream_idx}", 1)
+            await state.wait_progress()
+            continue
+        try:
+            offset = state.pending.popleft()
+        except IndexError:
+            # Nothing to send: either the transfer is draining (marks
+            # pending) or another stream's death may requeue work.
+            await state.wait_progress()
+            continue
+        length = min(state.block, state.total - offset)
+        inflight.add(offset)
+        if on_block is not None:
+            on_block(stream_idx, offset, length)
+        send_segments(
+            writer,
+            [_FRAME.pack(_BLOCK, offset, length),
+             state.view[offset:offset + length]],
+        )
+        state.bytes_sent += length
+        state.blocks_sent += 1
+        if rec is not None:
+            rec.count_pair("stripe.stream_bytes", f"s{stream_idx}", length)
+        await maybe_drain(writer)
+    writer.write(_FRAME.pack(_END, state.watermark, 0))
+    await writer.drain()
+
+
+async def _run_stream(
+    stream_idx: int,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    state: _SendState,
+    window_blocks: int,
+    on_block: Optional[Callable[[int, int, int], Any]],
+) -> None:
+    """Drive one connected stream until the transfer completes or the
+    stream dies (raises :class:`_StreamDied` with its inflight set)."""
+    inflight: "set[int]" = set()
+    send_task = asyncio.ensure_future(
+        _stream_send_loop(
+            writer, state, inflight, stream_idx, window_blocks, on_block
+        )
+    )
+    mark_task = asyncio.ensure_future(_read_marks(reader, state))
+    try:
+        done, _ = await asyncio.wait(
+            {send_task, mark_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in done:
+            exc = task.exception()
+            if exc is not None:
+                raise exc
+        if state.done:
+            return
+        # A task finished cleanly before completion: the mark reader
+        # only returns early on sink EOF — treat as stream death.
+        raise ConnectionResetError("sink closed stream early")
+    except (ConnectionError, OSError, asyncio.IncompleteReadError, StripeError) as exc:
+        raise _StreamDied(inflight) from exc
+    finally:
+        for task in (send_task, mark_task):
+            task.cancel()
+        await asyncio.gather(send_task, mark_task, return_exceptions=True)
+        with contextlib.suppress(Exception):
+            writer.close()
+
+
+async def send_striped(
+    connect: ConnectFn,
+    data: "bytes | bytearray | memoryview",
+    *,
+    streams: int = DEFAULT_STREAMS,
+    block_bytes: int = DEFAULT_BLOCK,
+    window_blocks: int = DEFAULT_WINDOW,
+    xfer_id: Optional[str] = None,
+    reconnect: bool = True,
+    max_reconnects: int = 4,
+    on_block: Optional[Callable[[int, int, int], Any]] = None,
+) -> Dict[str, Any]:
+    """Send ``data`` striped across ``streams`` parallel connections.
+
+    ``connect`` is awaited once per stream (plus once per replacement
+    when ``reconnect`` is on) and must yield a fresh
+    ``(reader, writer)`` to the sink — e.g. a relay-chain dial.  Blocks
+    are offset-tagged, so streams need no mutual ordering; a stream
+    that dies has its unacknowledged blocks requeued onto its siblings
+    and (by default) is re-dialed, resuming from the sink's last
+    restart marker rather than offset 0.  ``on_block(stream, offset,
+    length)`` fires before each block send — a failure-injection and
+    progress hook.
+
+    Returns a report dict (bytes/blocks sent including retransmits,
+    requeued block count, reconnect count, per-call stream count).
+
+    Raises :class:`StripeError` when the transfer cannot complete
+    (every stream dead and reconnect budget exhausted).
+    """
+    if streams < 1:
+        raise ValueError(f"streams must be >= 1, got {streams}")
+    if block_bytes < 1:
+        raise ValueError(f"block_bytes must be >= 1, got {block_bytes}")
+    if window_blocks < 1:
+        raise ValueError(f"window_blocks must be >= 1, got {window_blocks}")
+    view = memoryview(data)
+    if view.ndim != 1 or view.itemsize != 1:
+        view = view.cast("B")
+    state = _SendState(view, block_bytes)
+    xfer = xfer_id or uuid.uuid4().hex[:16]
+    rec = _obs.RECORDER
+    t0 = rec.wall_ts() if rec is not None else 0.0
+
+    if state.total == 0:
+        # Degenerate transfer: one stream still announces itself so
+        # the sink learns the (zero) size and completes.
+        reader, writer = await connect()
+        try:
+            writer.write(_hello_line(xfer, 0, streams, 0, block_bytes))
+            writer.write(_FRAME.pack(_END, 0, 0))
+            await writer.drain()
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+        return {
+            "xfer": xfer, "streams": 1, "block_bytes": block_bytes,
+            "total_bytes": 0, "bytes_sent": 0, "blocks_sent": 0,
+            "requeued_blocks": 0, "reconnects": 0,
+        }
+
+    async def run_one(idx: int) -> None:
+        budget = max_reconnects if reconnect else 0
+        while not state.done:
+            try:
+                reader, writer = await connect()
+            except (ConnectionError, OSError) as exc:
+                if budget <= 0:
+                    raise StripeError(f"stream {idx}: dial failed: {exc}") from exc
+                budget -= 1
+                await asyncio.sleep(0.02)
+                continue
+            tune_stream(writer)
+            try:
+                try:
+                    writer.write(
+                        _hello_line(xfer, idx, streams, state.total, block_bytes)
+                    )
+                    await writer.drain()
+                except (ConnectionError, OSError) as exc:
+                    raise _StreamDied(set()) from exc
+                await _run_stream(
+                    idx, reader, writer, state, window_blocks, on_block
+                )
+                return
+            except _StreamDied as died:
+                state.requeue(died.inflight)
+                if state.done:
+                    return
+                if budget <= 0:
+                    raise StripeError(
+                        f"stream {idx} died and reconnect budget exhausted"
+                    ) from died
+                budget -= 1
+                state.reconnects += 1
+                if rec is not None:
+                    rec.wall_instant("stripe", "stream_reconnect",
+                                     track=f"stripe:{xfer}", stream=idx)
+            finally:
+                with contextlib.suppress(Exception):
+                    writer.close()
+
+    results = await asyncio.gather(
+        *[run_one(i) for i in range(streams)], return_exceptions=True
+    )
+    if not state.done:
+        errors = [r for r in results if isinstance(r, BaseException)]
+        raise StripeError(
+            f"striped transfer incomplete at watermark {state.watermark}/"
+            f"{state.total} ({len(errors)}/{streams} streams failed)"
+        ) from (errors[0] if errors else None)
+    if rec is not None:
+        rec.wall_span_end("stripe", "send", t0, track=f"stripe:{xfer}",
+                          bytes=state.total, streams=streams,
+                          reconnects=state.reconnects)
+    return {
+        "xfer": xfer,
+        "streams": streams,
+        "block_bytes": block_bytes,
+        "window_blocks": window_blocks,
+        "total_bytes": state.total,
+        "bytes_sent": state.bytes_sent,
+        "blocks_sent": state.blocks_sent,
+        "requeued_blocks": state.requeued_blocks,
+        "reconnects": state.reconnects,
+    }
+
+
+class _RecvState:
+    """Reassembly state of one striped receive."""
+
+    __slots__ = (
+        "xfer", "total", "block", "buf", "received", "watermark",
+        "duplicate_blocks", "marks_sent", "streams_seen", "done",
+        "_stall_t0",
+    )
+
+    def __init__(self, hello: Dict[str, Any]) -> None:
+        self.xfer = hello["xfer"]
+        self.total = int(hello["total"])
+        self.block = int(hello["block"])
+        if self.total < 0 or self.block < 1:
+            raise ProtocolError(f"bad stripe hello: {hello}")
+        self.buf = bytearray(self.total)
+        self.received: Dict[int, int] = {}
+        self.watermark = 0
+        self.duplicate_blocks = 0
+        self.marks_sent = 0
+        self.streams_seen = 0
+        self.done = asyncio.Event()
+        self._stall_t0: Optional[float] = None
+        if self.total == 0:
+            self.done.set()
+
+    def accept_block(self, offset: int, payload: "bytes | memoryview") -> bool:
+        """Place one block; returns False for duplicates/garbage."""
+        length = len(payload)
+        if offset < 0 or offset + length > self.total:
+            raise ProtocolError(f"block [{offset}, {offset + length}) out of range")
+        if offset in self.received:
+            self.duplicate_blocks += 1
+            return False
+        self.buf[offset:offset + length] = payload
+        self.received[offset] = length
+        rec = _obs.RECORDER
+        if self.watermark == offset:
+            while True:
+                length_at = self.received.get(self.watermark)
+                if length_at is None:
+                    break
+                self.watermark += length_at
+            if self._stall_t0 is not None:
+                if rec is not None:
+                    rec.wall_span_end("stripe", "reassembly_stall",
+                                      self._stall_t0, track=f"stripe:{self.xfer}",
+                                      watermark=self.watermark)
+                self._stall_t0 = None
+            if self.watermark >= self.total:
+                self.done.set()
+            return True
+        # Out-of-order arrival: a gap below this block stalls the
+        # contiguous watermark until the missing block lands.
+        if self._stall_t0 is None and rec is not None:
+            self._stall_t0 = rec.wall_ts()
+        return True
+
+
+async def _recv_stream(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    state: _RecvState,
+    stream_idx: int,
+) -> None:
+    """Serve one sender stream: place its blocks, return restart
+    markers whenever the contiguous watermark advances."""
+    rec = _obs.RECORDER
+
+    def send_mark() -> None:
+        writer.write(_FRAME.pack(_MARK, state.watermark, 0))
+        state.marks_sent += 1
+
+    # Immediate marker: a (re)joining stream resumes from the
+    # watermark, never from offset 0.
+    send_mark()
+    await writer.drain()
+    try:
+        while not state.done.is_set():
+            header = await reader.readexactly(_FRAME.size)
+            ftype, offset, length = _FRAME.unpack(header)
+            if ftype == _END:
+                break
+            if ftype != _BLOCK:
+                raise ProtocolError(f"unexpected frame type {ftype} from sender")
+            if length > state.block:
+                raise ProtocolError(
+                    f"block length {length} exceeds stripe block {state.block}"
+                )
+            payload = await reader.readexactly(length) if length else b""
+            before = state.watermark
+            state.accept_block(offset, payload)
+            if rec is not None:
+                rec.count_pair("stripe.sink_bytes", f"s{stream_idx}", length)
+            if state.watermark > before or state.done.is_set():
+                send_mark()
+                await maybe_drain(writer)
+    finally:
+        # Flush the final marker (the sender's completion signal).
+        with contextlib.suppress(Exception):
+            await writer.drain()
+        with contextlib.suppress(Exception):
+            writer.close()
+
+
+async def recv_striped(
+    accept: ConnectFn,
+    *,
+    on_stream: Optional[Callable[[int], Any]] = None,
+) -> Tuple[bytes, Dict[str, Any]]:
+    """Receive one striped transfer; returns ``(data, report)``.
+
+    ``accept`` is awaited repeatedly and must yield the next inbound
+    ``(reader, writer)`` stream — e.g. ``listener.accept``.  The first
+    stream's hello sizes the reassembly buffer; streams may join (and
+    rejoin after a reconnect) at any point until the transfer
+    completes.  ``on_stream(index)`` fires as each stream's hello is
+    accepted.
+    """
+    state: Optional[_RecvState] = None
+    first_hello: "asyncio.Future[None]" = asyncio.get_running_loop().create_future()
+    handlers: "set[asyncio.Task]" = set()
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        nonlocal state
+        tune_stream(writer)
+        try:
+            line = await reader.readline()
+            hello = parse_control_line(line)
+            if hello.get("stripe") != 1:
+                raise ProtocolError(f"not a stripe hello: {hello!r}")
+            if state is None:
+                state = _RecvState(hello)
+                if not first_hello.done():
+                    first_hello.set_result(None)
+            elif hello.get("xfer") != state.xfer:
+                raise ProtocolError(
+                    f"stream for foreign transfer {hello.get('xfer')!r}"
+                )
+            state.streams_seen += 1
+            idx = int(hello.get("stream", state.streams_seen - 1))
+            if on_stream is not None:
+                on_stream(idx)
+            await _recv_stream(reader, writer, state, idx)
+        except (ProtocolError, ValueError) as exc:
+            if not first_hello.done():
+                first_hello.set_exception(StripeError(str(exc)))
+            with contextlib.suppress(Exception):
+                writer.close()
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            # Stream died mid-transfer: the sender requeues; nothing
+            # to do here but release the socket.
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def accept_loop() -> None:
+        while True:
+            reader, writer = await accept()
+            task = asyncio.ensure_future(handle(reader, writer))
+            handlers.add(task)
+            task.add_done_callback(handlers.discard)
+
+    acceptor = asyncio.ensure_future(accept_loop())
+    try:
+        await first_hello
+        assert state is not None
+        await state.done.wait()
+    finally:
+        acceptor.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await acceptor
+        if handlers:
+            # Let live handlers flush their final restart markers.
+            await asyncio.gather(*handlers, return_exceptions=True)
+    report = {
+        "xfer": state.xfer,
+        "total_bytes": state.total,
+        "streams_seen": state.streams_seen,
+        "duplicate_blocks": state.duplicate_blocks,
+        "marks_sent": state.marks_sent,
+    }
+    return bytes(state.buf), report

@@ -74,6 +74,12 @@ class RelayStats:
         self.mux_frames = 0
         self.mux_reconnects = 0
         self.mux_window_stalls = 0
+        #: Adaptive wake-ups that drained the receive queue as one
+        #: batch (the sim analogue of the live plane's coalesced
+        #: scatter-gather flushes).
+        self.coalesced_flushes = 0
+        #: Coalesced-batch sizes (log2 buckets of bytes per flush).
+        self.coalesce_bytes = LogHistogram()
         #: Per-wake-up forwarded-batch sizes (log2 buckets of bytes).
         self.chunk_bytes = LogHistogram()
         #: Per-pump lifetime byte totals (log2 buckets of bytes).
@@ -94,6 +100,8 @@ class RelayStats:
             "mux_frames": self.mux_frames,
             "mux_reconnects": self.mux_reconnects,
             "mux_window_stalls": self.mux_window_stalls,
+            "coalesced_flushes": self.coalesced_flushes,
+            "coalesce_bytes_hist": self.coalesce_bytes.to_dict(),
             "chunk_bytes_hist": self.chunk_bytes.to_dict(),
             "chain_bytes_hist": self.chain_bytes.to_dict(),
             "chain_setup_us_hist": self.chain_setup_us.to_dict(),

@@ -102,6 +102,12 @@ def relay_pump(
                 batch_bytes += extra.nbytes
             if batch_bytes >= read_budget:
                 read_budget = min(read_budget * 2, config.max_chunk_bytes)
+            if len(batch) > 1:
+                # This wake-up coalesced queued frames into one
+                # read+forward — the sim analogue of a scatter-gather
+                # flush on the live plane.
+                stats.coalesced_flushes += 1
+                stats.coalesce_bytes.record(batch_bytes)
         # Occupying CPU: one read+copy+write wake-up for the batch.
         yield from host.execute(
             config.per_chunk_cpu + config.per_byte_cpu * batch_bytes

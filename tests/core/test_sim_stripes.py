@@ -1,0 +1,200 @@
+"""Striped bulk transfers on the simulated plane: the sim mirror of
+:mod:`repro.core.aio.streams` (same block/offset wire structure, same
+restart-marker recovery), plus snapshot-schema parity between the two
+planes' relay stats.
+"""
+
+import pytest
+
+from repro.core import FrameError, RelayConfig, StripeBlock
+from repro.core.frames import send_striped
+from repro.core.outer import RelayStats
+from repro.core.aio.relay import AioRelayStats
+
+from .conftest import Deployment
+
+
+def test_striped_transfer_inside_to_inside(dep):
+    """k=4 parallel relay chains carry one striped transfer between
+    two inside hosts; both reports agree and every chain saw traffic."""
+    out = {}
+    total = 1_000_000
+
+    def listener_side():
+        listener = yield from dep.client(dep.pa).bind()
+
+        def sender_side():
+            out["send"] = yield from dep.client(dep.innerh).send_striped(
+                listener.proxy_addr, total, streams=4, block_bytes=64 * 1024
+            )
+
+        dep.sim.process(sender_side())
+        out["recv"] = yield from listener.recv_striped()
+        listener.close()
+
+    dep.sim.process(listener_side())
+    dep.sim.run()
+    assert out["send"]["bytes_sent"] == total
+    assert out["send"]["requeued_blocks"] == 0
+    assert out["recv"]["total_bytes"] == total
+    assert out["recv"]["streams_seen"] == 4
+    assert out["recv"]["duplicate_blocks"] == 0
+    # Each stream is its own passive chain through both relays.
+    assert dep.outer.stats.passive_chains == 4
+    assert dep.inner.stats.passive_chains == 4
+
+
+def test_striped_transfer_empty_and_single_block(dep):
+    out = {}
+
+    def listener_side():
+        listener = yield from dep.client(dep.pa).bind()
+
+        def sender_side():
+            out["s0"] = yield from dep.client(dep.innerh).send_striped(
+                listener.proxy_addr, 0, streams=2
+            )
+
+        dep.sim.process(sender_side())
+        out["r0"] = yield from listener.recv_striped()
+
+        def sender_one():
+            out["s1"] = yield from dep.client(dep.innerh).send_striped(
+                listener.proxy_addr, 1, streams=3
+            )
+
+        dep.sim.process(sender_one())
+        out["r1"] = yield from listener.recv_striped()
+        listener.close()
+
+    dep.sim.process(listener_side())
+    dep.sim.run()
+    assert out["s0"]["bytes_sent"] == 0
+    assert out["r0"]["total_bytes"] == 0
+    assert out["s1"]["blocks_sent"] == 1
+    assert out["r1"]["total_bytes"] == 1
+
+
+def test_striped_transfer_survives_stream_death(dep):
+    """Close one of the k connections mid-transfer: the dead stream's
+    unacknowledged blocks ride the siblings from the restart marker —
+    no restart from offset 0, dedupe absorbs any overlap."""
+    out = {}
+    total = 2_000_000
+    block = 32 * 1024
+
+    def listener_side():
+        listener = yield from dep.client(dep.pa).bind()
+        client = dep.client(dep.innerh)
+
+        def sender_side():
+            conns = []
+            for _ in range(4):
+                fc = yield from client.connect(listener.proxy_addr)
+                conns.append(fc)
+
+            def killer():
+                # Mid-transfer (well before the ~0.6 s the transfer
+                # needs over the 6.9 MB/s LAN), kill stream 1.
+                yield dep.sim.timeout(0.05)
+                conns[1].close()
+
+            dep.sim.process(killer())
+            out["send"] = yield from send_striped(conns, total, block_bytes=block)
+            for fc in conns:
+                fc.close()
+
+        dep.sim.process(sender_side())
+        out["recv"] = yield from listener.recv_striped()
+        listener.close()
+
+    dep.sim.process(listener_side())
+    dep.sim.run()
+    assert out["recv"]["total_bytes"] == total
+    assert out["send"]["dead_streams"] == 1
+    assert out["send"]["requeued_blocks"] >= 1
+    # Bounded retransmission: far less than a restart from zero.
+    assert out["send"]["bytes_sent"] < 1.5 * total
+
+
+def test_striped_transfer_all_streams_dead_raises(dep):
+    out = {}
+
+    def listener_side():
+        listener = yield from dep.client(dep.pa).bind()
+        client = dep.client(dep.innerh)
+
+        def sender_side():
+            conns = []
+            for _ in range(2):
+                fc = yield from client.connect(listener.proxy_addr)
+                conns.append(fc)
+
+            def killer():
+                yield dep.sim.timeout(0.05)
+                for fc in conns:
+                    fc.close()
+
+            dep.sim.process(killer())
+            try:
+                yield from send_striped(conns, 2_000_000, block_bytes=32 * 1024)
+            except FrameError:
+                out["raised"] = True
+
+        dep.sim.process(sender_side())
+        # Drain until the sink's streams die too.
+        try:
+            yield from listener.recv_striped()
+        except FrameError:
+            out["sink_raised"] = True
+        listener.close()
+
+    dep.sim.process(listener_side())
+    dep.sim.run()
+    assert out.get("raised")
+    assert out.get("sink_raised")
+
+
+def test_stripe_block_wire_sizes():
+    hello = StripeBlock("x", 0, "hello", total=100, streams=4, block=10)
+    blk = StripeBlock("x", 0, "block", offset=0, length=500, total=100)
+    mark = StripeBlock("x", 0, "mark", offset=50)
+    assert hello.wire_bytes == 64
+    assert blk.wire_bytes == 13 + 500
+    assert mark.wire_bytes == 13
+
+
+def test_adaptive_relay_accounts_coalesced_flushes():
+    """With adaptive chunking on, multi-frame wake-ups land in the
+    coalesce counters — the sim analogue of scatter-gather flushes."""
+    dep = Deployment(
+        RelayConfig(adaptive_chunking=True, max_chunk_bytes=65536)
+    )
+    out = {}
+
+    def listener_side():
+        listener = yield from dep.client(dep.pa).bind()
+
+        def sender_side():
+            out["send"] = yield from dep.client(dep.innerh).send_striped(
+                listener.proxy_addr, 500_000, streams=2, block_bytes=32 * 1024
+            )
+
+        dep.sim.process(sender_side())
+        out["recv"] = yield from listener.recv_striped()
+        listener.close()
+
+    dep.sim.process(listener_side())
+    dep.sim.run()
+    assert out["recv"]["total_bytes"] == 500_000
+    snap = dep.outer.stats.snapshot()
+    assert snap["coalesced_flushes"] > 0
+    assert sum(snap["coalesce_bytes_hist"].values()) == snap["coalesced_flushes"]
+
+
+def test_relay_stats_schema_parity_between_planes():
+    """The sim and live relay snapshots must share one key schema so
+    BENCH JSON from either plane is directly comparable."""
+    sim_keys = set(RelayStats().snapshot())
+    live_keys = set(AioRelayStats().snapshot())
+    assert sim_keys == live_keys

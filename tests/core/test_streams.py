@@ -1,0 +1,350 @@
+"""Tests for GridFTP-style parallel-stream striping
+(:mod:`repro.core.aio.streams`): round trips over plain sockets and
+full relay deployments, reassembly edge cases, and the acceptance
+criterion — killing one stream mid-transfer must not restart the
+transfer from offset 0.
+"""
+
+import asyncio
+import hashlib
+
+import pytest
+
+from repro.core.aio import (
+    AioInnerServer,
+    AioOuterServer,
+    AioProxyClient,
+    StripeError,
+    recv_striped,
+    send_striped,
+)
+from repro.core.aio.streams import _RecvState, _SendState
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+def _payload(n: int) -> bytes:
+    # Position-dependent pattern: any misplaced block changes the hash.
+    return bytes((i * 31 + (i >> 8)) & 0xFF for i in range(n))
+
+
+async def _loopback_pair():
+    """A plain TCP rendezvous: connect() dials, accept() yields the
+    server side of each dial — no relay in between."""
+    queue: asyncio.Queue = asyncio.Queue()
+
+    async def on_conn(r, w):
+        await queue.put((r, w))
+
+    server = await asyncio.start_server(on_conn, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+
+    async def connect():
+        return await asyncio.open_connection("127.0.0.1", port)
+
+    return server, connect, queue.get
+
+
+@pytest.mark.parametrize("streams,nbytes,block", [
+    (1, 100_000, 16 * 1024),
+    (4, 1_000_000, 32 * 1024),
+    (4, 1_000_001, 32 * 1024),   # ragged tail block
+    (8, 64 * 1024, 64 * 1024),   # more streams than blocks
+])
+def test_striped_roundtrip_loopback(streams, nbytes, block):
+    async def main():
+        server, connect, accept = await _loopback_pair()
+        data = _payload(nbytes)
+        recv_task = asyncio.ensure_future(recv_striped(accept))
+        report = await send_striped(
+            connect, data, streams=streams, block_bytes=block
+        )
+        got, rreport = await recv_task
+        assert got == data
+        assert report["bytes_sent"] == nbytes
+        assert report["requeued_blocks"] == 0
+        assert rreport["duplicate_blocks"] == 0
+        assert rreport["streams_seen"] >= 1
+        server.close()
+        await server.wait_closed()
+
+    run(main())
+
+
+def test_striped_single_byte_payload():
+    async def main():
+        server, connect, accept = await _loopback_pair()
+        recv_task = asyncio.ensure_future(recv_striped(accept))
+        report = await send_striped(connect, b"\x42", streams=4)
+        got, _ = await recv_task
+        assert got == b"\x42"
+        assert report["blocks_sent"] == 1
+        server.close()
+        await server.wait_closed()
+
+    run(main())
+
+
+def test_striped_empty_payload_completes():
+    async def main():
+        server, connect, accept = await _loopback_pair()
+        recv_task = asyncio.ensure_future(recv_striped(accept))
+        report = await send_striped(connect, b"", streams=4)
+        got, rreport = await recv_task
+        assert got == b""
+        assert report["total_bytes"] == 0
+        assert rreport["total_bytes"] == 0
+        server.close()
+        await server.wait_closed()
+
+    run(main())
+
+
+def test_recv_state_out_of_order_blocks():
+    """Blocks landing in any order reassemble exactly; the contiguous
+    watermark only advances over filled prefixes."""
+
+    async def main():
+        hello = {"xfer": "t1", "total": 40, "block": 10}
+        state = _RecvState(hello)
+        data = _payload(40)
+        assert state.accept_block(30, data[30:40])
+        assert state.watermark == 0  # gap at 0: no advance
+        assert state.accept_block(10, data[10:20])
+        assert state.watermark == 0
+        assert state.accept_block(0, data[0:10])
+        assert state.watermark == 20  # 0 and 10 contiguous now
+        assert not state.done.is_set()
+        assert state.accept_block(20, data[20:30])
+        assert state.watermark == 40
+        assert state.done.is_set()
+        assert bytes(state.buf) == data
+
+    run(main())
+
+
+def test_recv_state_duplicate_blocks_deduped():
+    """A requeued block racing its original must not corrupt the
+    buffer or double-count."""
+
+    async def main():
+        state = _RecvState({"xfer": "t2", "total": 20, "block": 10})
+        data = _payload(20)
+        assert state.accept_block(0, data[0:10])
+        assert not state.accept_block(0, b"X" * 10)  # duplicate: dropped
+        assert state.duplicate_blocks == 1
+        assert state.accept_block(10, data[10:20])
+        assert bytes(state.buf) == data
+        assert state.done.is_set()
+
+    run(main())
+
+
+def test_send_state_duplicate_restart_marker_is_idempotent():
+    """After a reconnect the sink re-sends its watermark; stale or
+    repeated markers must never regress progress or requeue twice."""
+
+    async def main():
+        state = _SendState(memoryview(bytes(100)), 10)
+        state.mark(50)
+        assert state.watermark == 50
+        state.mark(50)  # duplicate marker (rejoining stream)
+        state.mark(30)  # stale marker from a slow stream
+        assert state.watermark == 50
+        # Requeue of a dead stream's inflight: acked blocks skipped,
+        # repeated requeue doesn't duplicate pending entries.
+        state.pending.clear()
+        state.requeue({20, 40, 50, 60})
+        assert sorted(state.pending) == [50, 60]
+        state.requeue({50, 60})
+        assert sorted(state.pending) == [50, 60]
+        assert state.requeued_blocks == 2
+
+    run(main())
+
+
+async def _start_deployment():
+    outer = await AioOuterServer().start()
+    inner = await AioInnerServer().start()
+    client = AioProxyClient(
+        outer_addr=("127.0.0.1", outer.control_port),
+        inner_addr=("127.0.0.1", inner.nxport),
+    )
+    return outer, inner, client
+
+
+def test_striped_transfer_through_relay_deployment():
+    """End-to-end: k relay chains through outer+inner carry one
+    striped transfer; client API spelling (send_striped/recv_striped)."""
+
+    async def main():
+        outer, inner, client = await _start_deployment()
+        try:
+            listener = await client.bind()
+            host, port = listener.proxy_addr
+            data = _payload(2_000_000)
+            recv_task = asyncio.ensure_future(listener.recv_striped())
+            report = await client.send_striped(
+                host, port, data, streams=4, block_bytes=64 * 1024
+            )
+            got, rreport = await recv_task
+            assert hashlib.sha256(got).digest() == hashlib.sha256(data).digest()
+            assert report["bytes_sent"] == len(data)
+            assert rreport["streams_seen"] == 4
+            await listener.close()
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_kill_one_stream_mid_transfer_resumes_from_marker():
+    """Acceptance criterion: abort one stream's connection mid-
+    transfer.  The transfer must complete with correct bytes (hash)
+    WITHOUT restarting from offset 0 — only the dead stream's
+    unacknowledged blocks are retransmitted."""
+
+    async def main():
+        outer, inner, client = await _start_deployment()
+        try:
+            listener = await client.bind()
+            host, port = listener.proxy_addr
+            data = _payload(3_000_000)
+            block = 32 * 1024
+
+            writers = []
+
+            async def dial():
+                r, w = await client.connect(host, port)
+                writers.append(w)
+                return r, w
+
+            blocks_sent = [0]
+
+            def on_block(stream_idx, offset, length):
+                blocks_sent[0] += 1
+                # A third of the way in, nuke the second connection.
+                if blocks_sent[0] == 30 and len(writers) > 1:
+                    writers[1].transport.abort()
+
+            recv_task = asyncio.ensure_future(recv_striped(listener.accept))
+            report = await send_striped(
+                dial, data, streams=4, block_bytes=block,
+                reconnect=True, on_block=on_block,
+            )
+            got, rreport = await recv_task
+            assert hashlib.sha256(got).digest() == hashlib.sha256(data).digest()
+            assert report["reconnects"] >= 1
+            # No restart-from-zero: retransmission is bounded by the
+            # dead stream's unacknowledged inflight, a small fraction
+            # of the transfer.
+            assert report["bytes_sent"] < 1.5 * len(data)
+            assert report["requeued_blocks"] < len(data) // block // 2
+            await listener.close()
+        finally:
+            await outer.stop()
+            await inner.stop()
+
+    run(main())
+
+
+def test_stream_death_without_reconnect_rides_siblings():
+    """reconnect=False: the dead stream's blocks are requeued onto its
+    siblings; the transfer still completes from the restart marker."""
+
+    async def main():
+        server, connect, accept = await _loopback_pair()
+        data = _payload(1_500_000)
+        writers = []
+
+        async def dial():
+            r, w = await connect()
+            writers.append(w)
+            return r, w
+
+        count = [0]
+
+        def on_block(stream_idx, offset, length):
+            count[0] += 1
+            if count[0] == 10 and len(writers) > 1:
+                writers[1].transport.abort()
+
+        recv_task = asyncio.ensure_future(recv_striped(accept))
+        report = await send_striped(
+            dial, data, streams=4, block_bytes=32 * 1024,
+            reconnect=False, on_block=on_block,
+        )
+        got, _ = await recv_task
+        assert got == data
+        assert report["reconnects"] == 0
+        server.close()
+        await server.wait_closed()
+
+    run(main())
+
+
+def test_all_streams_dead_raises_stripe_error():
+    """With every stream dead and no reconnect budget, the send fails
+    loudly instead of hanging."""
+
+    async def main():
+        server, connect, accept = await _loopback_pair()
+        data = _payload(500_000)
+        writers = []
+
+        async def dial():
+            r, w = await connect()
+            writers.append(w)
+            return r, w
+
+        def on_block(stream_idx, offset, length):
+            for w in writers:
+                w.transport.abort()
+
+        recv_task = asyncio.ensure_future(recv_striped(accept))
+        with pytest.raises(StripeError):
+            await send_striped(
+                dial, data, streams=2, block_bytes=64 * 1024,
+                reconnect=False, on_block=on_block,
+            )
+        recv_task.cancel()
+        server.close()
+        await server.wait_closed()
+
+    run(main())
+
+
+def test_daemon_stop_aborts_mid_transfer_streams():
+    """Satellite: daemon shutdown must abort per-stream sockets
+    registered mid-transfer, not leave them (and their pumps) alive."""
+
+    async def main():
+        outer, inner, client = await _start_deployment()
+        listener = await client.bind()
+        host, port = listener.proxy_addr
+
+        # Open a chain and park it mid-transfer (no EOF, data pending).
+        r, w = await client.connect(host, port)
+        peer_r, peer_w = await listener.accept()
+        w.write(b"hello across the relay")
+        await w.drain()
+        await peer_r.readexactly(22)
+
+        await outer.stop()
+        await inner.stop()
+        # The parked chain's sockets were aborted by stop(): both ends
+        # observe EOF/reset promptly instead of hanging.
+        got = await asyncio.wait_for(peer_r.read(1024), timeout=5)
+        assert got == b""
+        with pytest.raises((ConnectionError, asyncio.IncompleteReadError)):
+            data = await asyncio.wait_for(r.read(1024), timeout=5)
+            if data == b"":
+                raise ConnectionResetError("clean EOF")
+        w.close()
+        peer_w.close()
+        await listener.close()
+
+    run(main())
