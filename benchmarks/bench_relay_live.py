@@ -448,8 +448,17 @@ async def run_suite(quick: bool, streams: "int | None" = None) -> dict:
     print(f"relay RTT (64 B)    : fixed p50 {fixed_rtt['p50_us']:7.1f} us   "
           f"adaptive p50 {adaptive_rtt['p50_us']:7.1f} us")
 
-    legacy = await passive_concurrent_throughput(False, "fixed", chains, per_chain)
-    muxed = await passive_concurrent_throughput(True, "adaptive", chains, per_chain)
+    # Best-of like the other throughput sections: a single 16-chain
+    # shot has enough scheduler noise on a 1-core box to swing the
+    # legacy/mux ratio by >10%.
+    legacy = muxed = None
+    for _ in range(repeats):
+        leg = await passive_concurrent_throughput(False, "fixed", chains, per_chain)
+        mux = await passive_concurrent_throughput(True, "adaptive", chains, per_chain)
+        if legacy is None or leg["mb_per_s"] > legacy["mb_per_s"]:
+            legacy = leg
+        if muxed is None or mux["mb_per_s"] > muxed["mb_per_s"]:
+            muxed = mux
     assert muxed["nxport_connections"] == 1, muxed
     assert legacy["nxport_connections"] == chains, legacy
     results["passive_16chain"] = {

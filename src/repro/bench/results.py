@@ -22,7 +22,9 @@ __all__ = [
     "bench_arg_parser",
     "bench_meta",
     "emit_results",
+    "git_dirty",
     "git_revision",
+    "refresh_meta",
     "repo_root",
     "write_results",
     "write_trace_artifacts",
@@ -51,11 +53,33 @@ def git_revision() -> Optional[str]:
     return out.stdout.strip() or None
 
 
+def git_dirty() -> Optional[bool]:
+    """Whether the working tree differs from HEAD (``None`` outside
+    git).  A benchmark JSON whose ``dirty`` flag is true was produced
+    by code no commit hash identifies."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_root(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return None
+    if out.returncode != 0:
+        return None
+    return bool(out.stdout.strip())
+
+
 def bench_meta(**extra: Any) -> dict:
     """The provenance block every benchmark JSON starts with.
 
     Keyword arguments are appended verbatim (workload sizes, mode
-    flags, ...) after the common fields.
+    flags, ...) after the common fields.  ``git_sha``/``dirty`` are
+    re-resolved by :func:`emit_results` at write time: a long-lived
+    suite may emit on a different commit than it started on, and the
+    stale-sha bug put ``ea68c74`` on results produced commits later.
     """
     meta: dict[str, Any] = {
         "python": platform.python_version(),
@@ -63,9 +87,21 @@ def bench_meta(**extra: Any) -> dict:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "git_sha": git_revision(),
+        "dirty": git_dirty(),
     }
     meta.update(extra)
     return meta
+
+
+def refresh_meta(results: dict) -> dict:
+    """Re-resolve the working-tree provenance (``git_sha``, ``dirty``)
+    in ``results["meta"]`` — called at emit time so the stamped
+    revision is the one the numbers were actually produced under."""
+    meta = results.get("meta")
+    if isinstance(meta, dict):
+        meta["git_sha"] = git_revision()
+        meta["dirty"] = git_dirty()
+    return results
 
 
 def write_results(
@@ -113,8 +149,11 @@ def bench_arg_parser(
 def emit_results(
     results: dict, out: Optional[str], default_name: str
 ) -> Optional[Path]:
-    """:func:`write_results` plus the standard ``wrote <path>`` line."""
-    path = write_results(results, out, default_name)
+    """:func:`write_results` plus the standard ``wrote <path>`` line.
+
+    Refreshes ``meta.git_sha``/``meta.dirty`` first (see
+    :func:`refresh_meta`)."""
+    path = write_results(refresh_meta(results), out, default_name)
     if path is not None:
         print(f"wrote {path}")
     return path

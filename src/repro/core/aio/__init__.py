@@ -18,6 +18,7 @@ or in-process via :class:`AioOuterServer` / :class:`AioInnerServer`
 
 from repro.core.aio.api import AioProxiedListener, AioProxyClient
 from repro.core.aio.firewall import GuardedDialer
+from repro.core.aio.fleet import FleetManager, FleetSpec
 from repro.core.aio.mux import MUX_MAGIC, ChainReset, MuxConnector
 from repro.core.aio.pump import AdaptiveChunker, SegmentBatcher, send_segments, tune_stream
 from repro.core.aio.relay import (
@@ -31,6 +32,7 @@ from repro.core.aio.streams import (
     DEFAULT_STREAMS,
     DEFAULT_WINDOW,
     StripeError,
+    StripeSink,
     recv_striped,
     send_striped,
 )
@@ -46,12 +48,15 @@ __all__ = [
     "DEFAULT_BLOCK",
     "DEFAULT_STREAMS",
     "DEFAULT_WINDOW",
+    "FleetManager",
+    "FleetSpec",
     "GuardedDialer",
     "Histogram",
     "MUX_MAGIC",
     "MuxConnector",
     "SegmentBatcher",
     "StripeError",
+    "StripeSink",
     "recv_striped",
     "send_segments",
     "send_striped",

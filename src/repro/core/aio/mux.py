@@ -128,6 +128,10 @@ class MuxChain:
         self.chain_id = chain_id
         self.reader = asyncio.StreamReader(limit=2 * window)
         self._send_window = window
+        #: Consumed bytes not yet returned as credit; flushed as one
+        #: WINDOW frame per threshold crossing instead of one per chunk.
+        self._pending_credit = 0
+        self._credit_threshold = max(1, window // 4)
         self._window_ok = asyncio.Event()
         self._window_ok.set()
         self._reset: Optional[BaseException] = None
@@ -188,11 +192,26 @@ class MuxChain:
 
     def consumed(self, nbytes: int) -> None:
         """Return ``nbytes`` of window credit to the peer — call after
-        the bytes were written toward their destination."""
-        if self._reset is None:
+        the bytes were written toward their destination.
+
+        Credit is batched: one WINDOW frame per quarter-window of
+        consumption instead of one per chunk.  Liveness holds because
+        the threshold is below the window — a sender stalled at zero
+        window implies a full window of un-credited bytes here, so
+        consuming them must cross the threshold.
+        """
+        self._pending_credit += nbytes
+        if self._pending_credit >= self._credit_threshold:
+            self.flush_credit()
+
+    def flush_credit(self) -> None:
+        """Send any accumulated window credit now (threshold crossing,
+        or a pump going idle with credit still pending)."""
+        pending, self._pending_credit = self._pending_credit, 0
+        if pending and self._reset is None:
             with contextlib.suppress(Exception):
                 self._session.send_frame(
-                    self.chain_id, FrameType.WINDOW, _U32.pack(nbytes)
+                    self.chain_id, FrameType.WINDOW, _U32.pack(pending)
                 )
 
     def add_credit(self, nbytes: int) -> None:

@@ -161,13 +161,17 @@ async def pump(
     chunker: Optional[AdaptiveChunker] = None,
     fixed_chunk: Optional[int] = None,
     on_chunk: Optional[Callable[[int], None]] = None,
+    limiter: "Optional[object]" = None,
 ) -> int:
     """Copy ``reader`` → ``writer`` until EOF/error; half-close; return
     bytes moved.
 
     ``chunker`` selects the adaptive policy; passing ``fixed_chunk``
     instead reproduces the seed behaviour (fixed reads, drain after
-    every write) for baseline benchmarking.
+    every write) for baseline benchmarking.  ``limiter`` (any object
+    with ``await acquire(nbytes)``, e.g. a fleet edge
+    :class:`repro.core.placement.TokenBucket`) debits every chunk
+    before it is written, turning the pump into a rate-capped leg.
     """
     moved = 0
     adaptive = fixed_chunk is None
@@ -180,6 +184,8 @@ async def pump(
                 break
             n = len(data)
             moved += n
+            if limiter is not None:
+                await limiter.acquire(n)
             if on_chunk is not None:
                 on_chunk(n)
             writer.write(data)

@@ -172,6 +172,7 @@ async def _pump(
     stats: AioRelayStats,
     chunk: int,
     pump_mode: str = "adaptive",
+    limiter: "object | None" = None,
 ) -> None:
     """Copy bytes reader→writer until EOF or error, then half-close."""
     await pump(
@@ -179,6 +180,7 @@ async def _pump(
         writer,
         fixed_chunk=chunk if pump_mode == "fixed" else None,
         on_chunk=stats.on_chunk,
+        limiter=limiter,
     )
 
 
@@ -190,6 +192,7 @@ async def _relay_pair(
     stats: AioRelayStats,
     chunk: int,
     pump_mode: str = "adaptive",
+    limiter: "object | None" = None,
 ) -> None:
     """Bidirectional relay; returns when both directions finish.
 
@@ -198,9 +201,13 @@ async def _relay_pair(
     forwarding); transports that cannot be protocol-swapped fall back
     to the stream pumps.  ``pump_mode="fixed"`` always takes the
     stream path — it *is* the seed baseline under ablation.
+
+    A ``limiter`` (fleet edge token bucket) forces the stream-pump
+    path: rate capping needs an awaitable debit per chunk, which the
+    protocol-swapped relay's read callbacks cannot host.
     """
     try:
-        if pump_mode == "adaptive":
+        if pump_mode == "adaptive" and limiter is None:
             moved = await relay_sockets_zero_copy(
                 a_reader, a_writer, b_reader, b_writer,
                 on_chunk=stats.on_chunk,
@@ -208,8 +215,8 @@ async def _relay_pair(
             if moved is not None:
                 return
         await asyncio.gather(
-            _pump(a_reader, b_writer, stats, chunk, pump_mode),
-            _pump(b_reader, a_writer, stats, chunk, pump_mode),
+            _pump(a_reader, b_writer, stats, chunk, pump_mode, limiter),
+            _pump(b_reader, a_writer, stats, chunk, pump_mode, limiter),
         )
     finally:
         for w in (a_writer, b_writer):
@@ -294,20 +301,36 @@ class AioOuterServer(_Server):
         secret: "str | None" = None,
         pump_mode: str = "adaptive",
         mux: bool = True,
+        reuse_port: bool = False,
+        onward_bind_host: "str | None" = None,
+        limiter: "object | None" = None,
     ) -> None:
         super().__init__(host, chunk, pump_mode)
         self.control_port = control_port
         #: Optional shared secret every connect/bind request must carry.
         self.secret = secret
         self.mux = mux
+        #: Fleet mode: N workers bind the *same* control port with
+        #: ``SO_REUSEPORT`` so the kernel spreads incoming chains.
+        self.reuse_port = reuse_port
+        #: Source address for onward (wide-area-side) connections.
+        #: Fleet workers each bind a distinct loopback alias here so
+        #: per-relay-host WAN emulation can tell them apart.
+        self.onward_bind_host = onward_bind_host
+        #: Edge byte-rate limiter (``await acquire(n)``); rate-capped
+        #: chains take the stream-pump path instead of zero-copy.
+        self.limiter = limiter
         self._public_servers: set[asyncio.base_events.Server] = set()
         #: One persistent mux link per (inner_host, inner_port).
         self._mux_links: Dict[Tuple[str, int], MuxConnector] = {}
 
     async def start(self) -> "AioOuterServer":
+        kwargs = {}
+        if self.reuse_port:
+            kwargs["reuse_port"] = True
         self._server = await asyncio.start_server(
             self._handle_control, self.host, self.control_port,
-            limit=self.stream_limit,
+            limit=self.stream_limit, **kwargs,
         )
         self.control_port = self.bound_port
         log.info("outer server listening on %s:%d", self.host, self.control_port)
@@ -376,7 +399,11 @@ class AioOuterServer(_Server):
             require_fields(msg, "host", "port")
             port = require_port(msg["port"])
             onward_r, onward_w = await asyncio.open_connection(
-                msg["host"], port, limit=self.stream_limit
+                msg["host"], port, limit=self.stream_limit,
+                local_addr=(
+                    (self.onward_bind_host, 0)
+                    if self.onward_bind_host is not None else None
+                ),
             )
         except (ProtocolError, OSError) as exc:
             self.stats.failed_requests += 1
@@ -399,12 +426,12 @@ class AioOuterServer(_Server):
                                    **_trace.span_args(ctx)):
                     await _relay_pair(
                         reader, writer, onward_r, onward_w, self.stats, self.chunk,
-                        self.pump_mode,
+                        self.pump_mode, self.limiter,
                     )
                 return
             await _relay_pair(
                 reader, writer, onward_r, onward_w, self.stats, self.chunk,
-                self.pump_mode,
+                self.pump_mode, self.limiter,
             )
         finally:
             self.disown(onward_w)

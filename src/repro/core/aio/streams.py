@@ -58,6 +58,7 @@ __all__ = [
     "DEFAULT_BLOCK",
     "DEFAULT_STREAMS",
     "StripeError",
+    "StripeSink",
     "send_striped",
     "recv_striped",
 ]
@@ -147,11 +148,23 @@ class _SendState:
             self.notify()
 
     def requeue(self, offsets: "set[int]") -> None:
-        """Put a dead stream's unacknowledged blocks back in play."""
-        stale = sorted(o for o in offsets if o + 1 > self.watermark)
+        """Put a dead stream's unacknowledged blocks back in play.
+
+        Requeued offsets go to the FRONT of the queue.  They sort below
+        everything still unsent (they were popped earliest), and the
+        sink's restart marker cannot advance past the lowest of them.
+        Appended at the tail they hide behind the whole unsent backlog;
+        once every surviving stream fills its window with post-gap
+        blocks the transfer deadlocks, because windows only drain when
+        the watermark moves and the watermark is gated on the requeued
+        gap block nobody can reach.
+        """
+        stale = sorted(
+            (o for o in offsets if o + 1 > self.watermark), reverse=True
+        )
         for off in stale:
             if off not in self.pending:
-                self.pending.append(off)
+                self.pending.appendleft(off)
                 self.requeued_blocks += 1
         if stale:
             self.notify()
@@ -190,12 +203,19 @@ async def _stream_send_loop(
                 [o for o in inflight if o + state.block <= state.watermark]
             )
         if len(inflight) >= window_blocks:
-            # Window full: every slot is above the restart marker.
-            # Stall until marks advance (or a sibling's death requeues).
-            if rec is not None:
-                rec.count_pair("stripe.window_stalls", f"s{stream_idx}", 1)
-            await state.wait_progress()
-            continue
+            # Window full: every slot is above the restart marker.  A
+            # requeued gap block sorting below this whole window is
+            # still sent (window overrun of one): the watermark -- the
+            # only thing that drains the window -- cannot advance past
+            # it, so parking on it would deadlock once every stream's
+            # window holds only post-gap blocks.
+            if not (state.pending and state.pending[0] < min(inflight)):
+                if rec is not None:
+                    rec.count_pair(
+                        "stripe.window_stalls", f"s{stream_idx}", 1
+                    )
+                await state.wait_progress()
+                continue
         try:
             offset = state.pending.popleft()
         except IndexError:
@@ -494,6 +514,139 @@ async def _recv_stream(
             writer.close()
 
 
+class StripeSink:
+    """Long-lived striped-transfer sink over one accept source.
+
+    Owns the accept loop for its whole lifetime and serves any number
+    of *sequential* transfers via :meth:`recv`.  Unlike the one-shot
+    :func:`recv_striped` wrapper, the sink remembers the final
+    watermark of every transfer it completed and answers a stream that
+    (re)dials *after* its transfer already finished with that final
+    restart marker.  Without that memory, a sender whose stream died
+    in the same instant the last block landed (a drained relay worker
+    aborting chains, say) redials into a sink that no longer knows the
+    transfer and waits forever for a marker that will never come — so
+    any caller whose senders can redial across a transfer boundary
+    (worker drains, sequential sub-transfers on one listener) must
+    hold a sink open until the *senders* report completion, not merely
+    until the payload arrives.
+    """
+
+    def __init__(
+        self,
+        accept: ConnectFn,
+        *,
+        on_stream: Optional[Callable[[int], Any]] = None,
+        remember: int = 64,
+    ) -> None:
+        self._accept = accept
+        self._on_stream = on_stream
+        #: xfer id -> final watermark of transfers served to completion
+        #: (insertion-ordered; trimmed to the ``remember`` newest).
+        self._completed: "Dict[str, int]" = {}
+        self._remember = remember
+        self._state: Optional[_RecvState] = None
+        self._first: "Optional[asyncio.Future[None]]" = None
+        self._handlers: "set[asyncio.Task]" = set()
+        self._acceptor = asyncio.ensure_future(self._accept_loop())
+
+    async def _accept_loop(self) -> None:
+        while True:
+            reader, writer = await self._accept()
+            task = asyncio.ensure_future(self._handle(reader, writer))
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        tune_stream(writer)
+        try:
+            line = await reader.readline()
+            hello = parse_control_line(line)
+            if hello.get("stripe") != 1:
+                raise ProtocolError(f"not a stripe hello: {hello!r}")
+            xfer = hello.get("xfer")
+            if xfer in self._completed:
+                # Redial raced transfer completion: hand the sender
+                # the final marker so it observes the full watermark.
+                writer.write(_FRAME.pack(_MARK, self._completed[xfer], 0))
+                await writer.drain()
+                return
+            if self._state is None:
+                if self._first is None or self._first.done():
+                    # No recv() pending: a stray stream for a transfer
+                    # nobody is (or will be) assembling.  Closing it
+                    # reads as stream death on the sender.
+                    return
+                self._state = _RecvState(hello)
+                self._first.set_result(None)
+            elif xfer != self._state.xfer:
+                raise ProtocolError(f"stream for foreign transfer {xfer!r}")
+            state = self._state
+            state.streams_seen += 1
+            idx = int(hello.get("stream", state.streams_seen - 1))
+            if self._on_stream is not None:
+                self._on_stream(idx)
+            await _recv_stream(reader, writer, state, idx)
+        except (ProtocolError, ValueError) as exc:
+            if self._first is not None and not self._first.done():
+                self._first.set_exception(StripeError(str(exc)))
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            # Stream died mid-transfer: the sender requeues; nothing
+            # to do here but release the socket.
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def recv(self) -> Tuple[bytes, Dict[str, Any]]:
+        """Receive the next striped transfer; returns ``(data, report)``.
+
+        The first stream's hello sizes the reassembly buffer; streams
+        may join (and rejoin after a reconnect) at any point until the
+        transfer completes.
+        """
+        if self._acceptor.done():
+            raise StripeError("stripe sink is closed")
+        if self._state is not None or self._first is not None:
+            raise StripeError("a recv() is already in progress")
+        self._first = asyncio.get_running_loop().create_future()
+        try:
+            await self._first
+            state = self._state
+            assert state is not None
+            await state.done.wait()
+        finally:
+            self._first = None
+            self._state = None
+        self._completed[state.xfer] = state.watermark
+        while len(self._completed) > self._remember:
+            del self._completed[next(iter(self._completed))]
+        report = {
+            "xfer": state.xfer,
+            "total_bytes": state.total,
+            "streams_seen": state.streams_seen,
+            "duplicate_blocks": state.duplicate_blocks,
+            "marks_sent": state.marks_sent,
+        }
+        return bytes(state.buf), report
+
+    async def close(self, *, grace_s: float = 1.0) -> None:
+        """Stop accepting; give in-flight handlers ``grace_s`` to flush
+        their final restart markers, then cancel any stragglers."""
+        self._acceptor.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._acceptor
+        if self._handlers:
+            _done, pending = await asyncio.wait(
+                set(self._handlers), timeout=grace_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+
 async def recv_striped(
     accept: ConnectFn,
     *,
@@ -507,68 +660,16 @@ async def recv_striped(
     rejoin after a reconnect) at any point until the transfer
     completes.  ``on_stream(index)`` fires as each stream's hello is
     accepted.
+
+    One-shot: accepting stops the moment the payload is complete, so a
+    sender stream that redials *after* that point hangs waiting for
+    its first restart marker.  When senders can redial across the
+    completion boundary (relay-worker drains, back-to-back transfers
+    on one listener), use :class:`StripeSink` and keep it open until
+    the sender reports completion.
     """
-    state: Optional[_RecvState] = None
-    first_hello: "asyncio.Future[None]" = asyncio.get_running_loop().create_future()
-    handlers: "set[asyncio.Task]" = set()
-
-    async def handle(reader: asyncio.StreamReader,
-                     writer: asyncio.StreamWriter) -> None:
-        nonlocal state
-        tune_stream(writer)
-        try:
-            line = await reader.readline()
-            hello = parse_control_line(line)
-            if hello.get("stripe") != 1:
-                raise ProtocolError(f"not a stripe hello: {hello!r}")
-            if state is None:
-                state = _RecvState(hello)
-                if not first_hello.done():
-                    first_hello.set_result(None)
-            elif hello.get("xfer") != state.xfer:
-                raise ProtocolError(
-                    f"stream for foreign transfer {hello.get('xfer')!r}"
-                )
-            state.streams_seen += 1
-            idx = int(hello.get("stream", state.streams_seen - 1))
-            if on_stream is not None:
-                on_stream(idx)
-            await _recv_stream(reader, writer, state, idx)
-        except (ProtocolError, ValueError) as exc:
-            if not first_hello.done():
-                first_hello.set_exception(StripeError(str(exc)))
-            with contextlib.suppress(Exception):
-                writer.close()
-        except (ConnectionError, OSError, asyncio.IncompleteReadError):
-            # Stream died mid-transfer: the sender requeues; nothing
-            # to do here but release the socket.
-            with contextlib.suppress(Exception):
-                writer.close()
-
-    async def accept_loop() -> None:
-        while True:
-            reader, writer = await accept()
-            task = asyncio.ensure_future(handle(reader, writer))
-            handlers.add(task)
-            task.add_done_callback(handlers.discard)
-
-    acceptor = asyncio.ensure_future(accept_loop())
+    sink = StripeSink(accept, on_stream=on_stream)
     try:
-        await first_hello
-        assert state is not None
-        await state.done.wait()
+        return await sink.recv()
     finally:
-        acceptor.cancel()
-        with contextlib.suppress(asyncio.CancelledError):
-            await acceptor
-        if handlers:
-            # Let live handlers flush their final restart markers.
-            await asyncio.gather(*handlers, return_exceptions=True)
-    report = {
-        "xfer": state.xfer,
-        "total_bytes": state.total,
-        "streams_seen": state.streams_seen,
-        "duplicate_blocks": state.duplicate_blocks,
-        "marks_sent": state.marks_sent,
-    }
-    return bytes(state.buf), report
+        await sink.close()

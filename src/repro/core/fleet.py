@@ -1,0 +1,220 @@
+"""Sim-plane mirror of the relay fleet's placement and edge policy.
+
+The live fleet (:mod:`repro.core.aio.fleet`) shards the outer daemon
+across worker *processes*; a discrete-event scenario has no processes
+to shard, but the thing worth modelling — *which worker gets the next
+chain, who is refused, and what a drain does to the load* — is pure
+policy, and :class:`SimFleet` runs exactly the same policy objects
+(:class:`~repro.core.placement.LeastLoadedPlacer`,
+:class:`~repro.core.placement.AdmissionControl`,
+:class:`~repro.core.placement.TokenBucketCore`) against
+:class:`~repro.core.outer.OuterServer` instances on simulated hosts,
+driven by the DES clock instead of wall time and heartbeat messages.
+
+Where the live manager hands a file descriptor to the placed worker,
+a scenario asks the fleet where to dial::
+
+    fleet = SimFleet(sim, [outer_a, outer_b], max_chains_per_client=4)
+    fleet.start()                      # heartbeat sampling process
+    addr = fleet.place("client-3")     # front-door decision
+    if addr is not None:
+        client = NexusProxyClient(host, outer_addr=addr)
+        ...                            # ordinary Fig. 3 / Fig. 4 traffic
+        fleet.release("client-3", addr.host)   # chain ended (live: 'closed')
+
+The heartbeat process samples every worker's ``stats.bytes_relayed``
+each interval — the sim analogue of worker heartbeats — so placement
+sees the same byte-rate EWMA signal the live placer does.
+
+:meth:`SimFleet.snapshot` and the live
+:meth:`~repro.core.aio.fleet.FleetManager.snapshot` are built by the
+same :func:`~repro.core.placement.fleet_snapshot` helper, so their key
+schemas are identical by construction (the fleet-level analogue of the
+relay-stats parity asserted since PR 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.outer import OuterServer
+from repro.core.placement import (
+    WORKER_DRAINING,
+    WORKER_GONE,
+    WORKER_UP,
+    AdmissionControl,
+    LeastLoadedPlacer,
+    TokenBucketCore,
+    WorkerView,
+    fleet_snapshot,
+)
+from repro.simnet.kernel import Event
+from repro.simnet.socket import Address
+
+__all__ = ["SimFleet"]
+
+
+class SimFleet:
+    """A sharded relay modelled as placement policy over N simulated
+    outer servers.
+
+    ``workers`` are started/stopped by the scenario; the fleet only
+    decides placement, enforces the edge policy, and keeps the shared
+    fleet snapshot.  One logical chain = one :meth:`place` (+ a
+    matching :meth:`release` when it ends); consecutive chains of one
+    transfer should pass distinct ``chain_key`` values, as the live
+    front door derives its key from the client's ephemeral port.
+    """
+
+    def __init__(
+        self,
+        sim,
+        workers: "Sequence[OuterServer]",
+        *,
+        max_chains_per_client: Optional[int] = None,
+        edge_rate_bytes_per_s: Optional[float] = None,
+        edge_burst_bytes: Optional[float] = None,
+        heartbeat_s: float = 0.25,
+    ) -> None:
+        if not workers:
+            raise ValueError("a fleet needs at least one worker")
+        self.sim = sim
+        self.heartbeat_s = heartbeat_s
+        self.placer = LeastLoadedPlacer()
+        self.admission = AdmissionControl(max_chains_per_client)
+        self.edge_bucket = (
+            TokenBucketCore(edge_rate_bytes_per_s, edge_burst_bytes)
+            if edge_rate_bytes_per_s is not None else None
+        )
+        self._edge_waits = 0
+        self.workers: "Dict[str, OuterServer]" = {}
+        self.views: "Dict[str, WorkerView]" = {}
+        self._chain_seq = 0
+        self._hb_proc = None
+        for outer in workers:
+            wid = outer.host.name
+            if wid in self.workers:
+                raise ValueError(f"duplicate fleet worker host {wid!r}")
+            self.workers[wid] = outer
+            view = WorkerView(wid)
+            self.views[wid] = view
+            self.placer.add_worker(view)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "SimFleet":
+        """Begin heartbeat sampling (call after ``sim`` is running or
+        before ``sim.run`` — the process just wakes every interval)."""
+        if self._hb_proc is None:
+            self._hb_proc = self.sim.process(
+                self._heartbeat_loop(), name="fleet-heartbeats"
+            )
+        return self
+
+    def _heartbeat_loop(self) -> Iterator[Event]:
+        while True:
+            self.observe()
+            yield self.sim.timeout(self.heartbeat_s)
+
+    def observe(self) -> None:
+        """Sample every live worker's relay stats into its view — the
+        sim analogue of one round of worker heartbeats."""
+        now = self.sim.now
+        for wid, outer in self.workers.items():
+            view = self.views[wid]
+            if view.state == WORKER_GONE:
+                continue
+            view.observe(now, outer.stats.bytes_relayed, view.active_chains)
+
+    # -- front door -------------------------------------------------------
+
+    def place(
+        self, client: str, chain_key: Optional[str] = None
+    ) -> Optional[Address]:
+        """Admit and place one chain; returns the chosen worker's
+        control address, or ``None`` when the edge refuses (quota, or
+        no healthy worker) — counted exactly like the live front door.
+        """
+        if not self.admission.admit(client):
+            self.placer.stats.rejected_quota += 1
+            return None
+        if chain_key is None:
+            self._chain_seq += 1
+            chain_key = f"{client}#{self._chain_seq}"
+        wid, _method = self.placer.place(chain_key, self.views, self.sim.now)
+        if wid is None:
+            self.admission.release(client)
+            return None
+        self.placer.stats.handoffs += 1
+        view = self.views[wid]
+        view.active_chains += 1
+        return self.workers[wid].control_addr
+
+    def release(self, client: str, worker: str) -> None:
+        """One placed chain ended (the live plane's ``closed``
+        notification): releases the client's quota slot and the
+        worker's optimistic chain count."""
+        self.admission.release(client)
+        view = self.views.get(worker)
+        if view is not None and view.active_chains > 0:
+            view.active_chains -= 1
+        if view is not None:
+            self._maybe_finish_drain(view)
+
+    def edge_delay(self, nbytes: int) -> float:
+        """Seconds a transfer must stall for the fleet edge rate cap
+        before moving ``nbytes`` (0 without a cap).  Scenarios model
+        the cap as ``yield sim.timeout(fleet.edge_delay(n))`` before
+        the send; the debit happens here either way."""
+        bucket = self.edge_bucket
+        if bucket is None:
+            return 0.0
+        bucket.refill(self.sim.now)
+        if bucket.try_take(nbytes):
+            return 0.0
+        self._edge_waits += 1
+        delay = bucket.delay_for(nbytes)
+        # The caller waits out `delay`; advance the bucket to the end
+        # of that stall and take the tokens there.
+        bucket.refill(self.sim.now + delay)
+        bucket.try_take(min(nbytes, bucket.burst))
+        return delay
+
+    # -- drain ------------------------------------------------------------
+
+    def drain(self, worker: str) -> None:
+        """Exclude ``worker`` from placement (live: stop handing it
+        chains).  The drain completes — worker ``gone`` — once its
+        placed chains are released, or immediately when it has none."""
+        view = self.views.get(worker)
+        if view is None:
+            raise KeyError(f"no such fleet worker {worker!r}")
+        if view.state != WORKER_UP:
+            return
+        view.state = WORKER_DRAINING
+        self.placer.stats.drains_started += 1
+        self._maybe_finish_drain(view)
+
+    def _maybe_finish_drain(self, view: WorkerView) -> None:
+        if view.state == WORKER_DRAINING and view.active_chains == 0:
+            view.state = WORKER_GONE
+            self.placer.stats.drains_completed += 1
+            self.placer.remove_worker(view.worker_id)
+
+    def finish_drains(self) -> None:
+        """Complete any drains whose workers have no chains left
+        (scenarios call this after releasing chains)."""
+        for view in self.views.values():
+            self._maybe_finish_drain(view)
+
+    # -- observability ----------------------------------------------------
+
+    def snapshot(self) -> "dict[str, object]":
+        """Fleet counters; key schema shared with the live
+        :meth:`repro.core.aio.fleet.FleetManager.snapshot`."""
+        return fleet_snapshot(
+            "sim",
+            self.views.values(),
+            self.placer.stats,
+            edge_throttle_waits=self._edge_waits,
+        )

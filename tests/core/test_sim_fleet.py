@@ -1,0 +1,183 @@
+"""Sim-plane fleet: placement policy over N simulated outer servers."""
+
+import pytest
+
+from repro.core import (
+    FramedConnection,
+    NexusProxyClient,
+    OuterServer,
+    RelayConfig,
+    SimFleet,
+)
+from repro.simnet import Firewall, Network
+
+from tests.core.test_placement import FLEET_SNAPSHOT_KEYS
+
+
+class FleetDeployment:
+    """Reduced Fig. 5 with the outer relay sharded over two hosts."""
+
+    def __init__(self, **fleet_kwargs) -> None:
+        self.config = RelayConfig()
+        self.net = Network()
+        self.rwcp = self.net.add_site(
+            "rwcp", firewall=Firewall.typical(reject=True)
+        )
+        self.pa = self.net.add_host("pa", site=self.rwcp)
+        self.lan = self.net.add_router("lan", site=self.rwcp)
+        self.outer_hosts = [
+            self.net.add_host(f"outer{i}", cores=2) for i in range(2)
+        ]
+        self.pb = self.net.add_host("pb")
+        self.net.link(self.pa, self.lan, 0.1e-3, 6.9e6)
+        for oh in self.outer_hosts:
+            self.net.link(self.lan, oh, 0.1e-3, 6.9e6)
+            self.net.link(oh, self.pb, 3.5e-3, 187.5e3)
+        self.outers = [OuterServer(oh, self.config) for oh in self.outer_hosts]
+        for outer in self.outers:
+            outer.start()
+        self.fleet = SimFleet(self.net.sim, self.outers, **fleet_kwargs)
+
+    @property
+    def sim(self):
+        return self.net.sim
+
+
+def test_place_release_and_quota():
+    dep = FleetDeployment(max_chains_per_client=2)
+    fleet = dep.fleet
+    a1 = fleet.place("pa")
+    a2 = fleet.place("pa")
+    assert a1 is not None and a2 is not None
+    # Third concurrent chain for the same client: refused at the edge.
+    assert fleet.place("pa") is None
+    assert fleet.snapshot()["rejected_quota"] == 1
+    # A different client is unaffected.
+    assert fleet.place("pb") is not None
+    fleet.release("pa", a1.host)
+    assert fleet.place("pa") is not None
+    snap = fleet.snapshot()
+    assert snap["handoffs"] == 4
+    assert sum(w["active_chains"] for w in snap["workers"].values()) == 3
+
+
+def test_cold_fleet_places_by_hash_and_warm_by_rate():
+    dep = FleetDeployment()
+    fleet = dep.fleet
+    # Cold (no heartbeats yet): hash-ring spread, deterministic.
+    first = [fleet.place("pa", chain_key=f"c{i}") for i in range(32)]
+    assert fleet.snapshot()["placed_hash_ring"] == 32
+    assert len({a.host for a in first}) == 2  # both workers got chains
+    # Warm the views with two heartbeat rounds while outer0 relays
+    # hard and outer1 sits idle.
+    fleet.observe()
+    dep.outers[0].stats.bytes_relayed += 50_000_000
+    dep.sim.run(until=dep.sim.now + 1.0)
+    fleet.start()
+    dep.sim.run(until=dep.sim.now + 1.0)
+    addr = fleet.place("pa", chain_key="hot")
+    assert addr is not None
+    assert addr.host == dep.outers[1].host.name
+    assert fleet.snapshot()["placed_least_loaded"] == 1
+
+
+def test_drain_excludes_worker_and_completes_on_release():
+    dep = FleetDeployment()
+    fleet = dep.fleet
+    placed = {}
+    for i in range(8):
+        addr = fleet.place("pa", chain_key=f"c{i}")
+        placed.setdefault(addr.host, []).append(f"c{i}")
+    victim = dep.outers[0].host.name
+    fleet.drain(victim)
+    snap = fleet.snapshot()
+    assert snap["drains_started"] == 1
+    assert snap["workers"][victim]["state"] == "draining"
+    # No new chains land on the draining worker.
+    for i in range(8, 16):
+        addr = fleet.place("pa", chain_key=f"c{i}")
+        assert addr.host != victim
+    # Releasing its last chain completes the drain.
+    for _ in placed.get(victim, []):
+        fleet.release("pa", victim)
+    snap = fleet.snapshot()
+    assert snap["drains_completed"] == 1
+    assert snap["workers"][victim]["state"] == "gone"
+    # Draining an idle worker completes immediately.
+    other = dep.outers[1].host.name
+    for _ in placed.get(other, []):
+        fleet.release("pa", other)
+    for i in range(8, 16):
+        fleet.release("pa", dep.outers[1].host.name)
+    fleet.drain(other)
+    assert fleet.snapshot()["workers"][other]["state"] == "gone"
+    # Nobody left: the edge refuses with rejected_no_worker.
+    assert fleet.place("pa") is None
+    assert fleet.snapshot()["rejected_no_worker"] == 1
+
+
+def test_edge_rate_cap_delays_in_sim_time():
+    dep = FleetDeployment(
+        edge_rate_bytes_per_s=1_000_000, edge_burst_bytes=500_000
+    )
+    fleet = dep.fleet
+    assert fleet.edge_delay(500_000) == 0.0  # burst absorbs the first
+    delay = fleet.edge_delay(500_000)
+    assert delay == pytest.approx(0.5)
+    snap = fleet.snapshot()
+    assert snap["edge_throttle_waits"] == 1
+    # After simulated time passes, the bucket has refilled.
+    dep.sim.run(until=dep.sim.now + 2.0)
+    assert fleet.edge_delay(100_000) == 0.0
+
+
+def test_placed_worker_carries_real_sim_traffic():
+    """A chain placed by the fleet relays actual Fig. 3 traffic
+    through the chosen simulated worker."""
+    dep = FleetDeployment()
+    fleet = dep.fleet
+
+    result = {}
+
+    def server():
+        ls = dep.pb.listen(9000)
+        conn = yield ls.accept()
+        fc = FramedConnection(conn, dep.config.chunk_bytes)
+        payload, n = yield from fc.recv()
+        result["pb"] = (payload, n)
+        yield fc.send("pong", nbytes=100)
+
+    def client_proc():
+        addr = fleet.place("pa", chain_key="t1")
+        assert addr is not None
+        client = NexusProxyClient(
+            dep.pa, outer_addr=addr, config=dep.config
+        )
+        fc = yield from client.connect(("pb", 9000))
+        yield fc.send("ping", nbytes=4096)
+        payload, n = yield from fc.recv()
+        result["pa"] = (payload, n)
+        fleet.release("pa", addr.host)
+
+    dep.sim.process(server())
+    dep.sim.process(client_proc())
+    dep.sim.run()
+    assert result["pb"] == ("ping", 4096)
+    assert result["pa"] == ("pong", 100)
+    placed = fleet.snapshot()["workers"]
+    assert sum(w["bytes_relayed"] for w in placed.values()) == 0  # pre-observe
+    fleet.observe()
+    placed = fleet.snapshot()["workers"]
+    assert sum(w["bytes_relayed"] for w in placed.values()) > 0
+
+
+def test_sim_snapshot_schema_matches_shared_builder():
+    dep = FleetDeployment()
+    snap = dep.fleet.snapshot()
+    assert set(snap) == FLEET_SNAPSHOT_KEYS
+    assert snap["mode"] == "sim"
+    for w in snap["workers"].values():
+        assert set(w) == {
+            "state", "active_chains", "bytes_relayed", "byte_rate",
+            "heartbeats",
+        }

@@ -15,10 +15,17 @@ from repro.core.aio import (
     AioOuterServer,
     AioProxyClient,
     StripeError,
+    StripeSink,
     recv_striped,
     send_striped,
 )
-from repro.core.aio.streams import _RecvState, _SendState
+from repro.core.aio.streams import (
+    _FRAME,
+    _MARK,
+    _RecvState,
+    _SendState,
+    _hello_line,
+)
 
 
 def run(coro):
@@ -102,6 +109,67 @@ def test_striped_empty_payload_completes():
     run(main())
 
 
+def test_sink_answers_redial_after_completion():
+    """A stream that redials after its transfer already completed must
+    be handed the final restart marker, not left waiting forever —
+    this is exactly what a drained relay worker's aborted stream does
+    when the abort races the last block's delivery."""
+
+    async def main():
+        server, connect, accept = await _loopback_pair()
+        data = _payload(300_000)
+        sink = StripeSink(accept)
+        recv_task = asyncio.ensure_future(sink.recv())
+        report = await send_striped(
+            connect, data, streams=2, block_bytes=32 * 1024,
+            xfer_id="deadbeef00000001",
+        )
+        got, _ = await recv_task
+        assert got == data
+        # Late redial for the now-finished transfer: the sink's
+        # completed-transfer memory answers with watermark == total.
+        r, w = await connect()
+        w.write(_hello_line("deadbeef00000001", 0, 2, len(data),
+                            32 * 1024))
+        await w.drain()
+        ftype, offset, _length = _FRAME.unpack(
+            await r.readexactly(_FRAME.size)
+        )
+        assert ftype == _MARK
+        assert offset == len(data)
+        assert await r.read() == b""  # sink closes after answering
+        w.close()
+        assert report["total_bytes"] == len(data)
+        await sink.close()
+        server.close()
+        await server.wait_closed()
+
+    run(main())
+
+
+def test_sink_serves_sequential_transfers():
+    """One StripeSink over one listener carries back-to-back transfers
+    (the sub-transfer wave pattern) without cross-talk."""
+
+    async def main():
+        server, connect, accept = await _loopback_pair()
+        sink = StripeSink(accept)
+        for round_no in range(3):
+            data = _payload(150_000 + round_no)
+            recv_task = asyncio.ensure_future(sink.recv())
+            await send_striped(
+                connect, data, streams=2, block_bytes=16 * 1024
+            )
+            got, rreport = await recv_task
+            assert got == data
+            assert rreport["total_bytes"] == len(data)
+        await sink.close()
+        server.close()
+        await server.wait_closed()
+
+    run(main())
+
+
 def test_recv_state_out_of_order_blocks():
     """Blocks landing in any order reassemble exactly; the contiguous
     watermark only advances over filled prefixes."""
@@ -161,6 +229,27 @@ def test_send_state_duplicate_restart_marker_is_idempotent():
         state.requeue({50, 60})
         assert sorted(state.pending) == [50, 60]
         assert state.requeued_blocks == 2
+
+    run(main())
+
+
+def test_send_state_requeue_puts_gap_blocks_first():
+    """A dead stream's blocks are the lowest unacked offsets, and the
+    sink's watermark is gated on them.  They must come off the queue
+    before the unsent backlog: appended at the tail they hide behind it,
+    and once every surviving stream fills its window with post-gap
+    blocks the transfer deadlocks (windows only drain when the watermark
+    moves, and the watermark is stuck below the requeued gap)."""
+
+    async def main():
+        state = _SendState(memoryview(bytes(100)), 10)
+        # Streams have popped 0..40; 50..90 remain unsent.
+        for _ in range(5):
+            state.pending.popleft()
+        state.mark(10)  # sink acked the first block only
+        # The stream holding 10..40 dies; its blocks come back in play.
+        state.requeue({10, 20, 30, 40})
+        assert list(state.pending) == [10, 20, 30, 40, 50, 60, 70, 80, 90]
 
     run(main())
 
