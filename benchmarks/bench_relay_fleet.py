@@ -27,10 +27,15 @@ the payload arrived bit-exact (zero lost/duplicated bytes) and that
 the per-worker + client traces assemble with ``unresolved_parents ==
 0``.  Exit 0 on success, 1 on any violated invariant.
 
+``--overhead`` measures the cost of the observability plane itself:
+the same points with worker telemetry + time-series samplers off vs
+on, recorded as ``meta.obs_overhead`` (bound: <3%).
+
 Run::
 
     PYTHONPATH=src python benchmarks/bench_relay_fleet.py [--quick]
     PYTHONPATH=src python benchmarks/bench_relay_fleet.py --smoke-drain
+    PYTHONPATH=src python benchmarks/bench_relay_fleet.py --overhead
 """
 
 from __future__ import annotations
@@ -376,7 +381,9 @@ def _send_side_thread(
 
 
 async def fleet_point(
-    workers: int, per_client_bytes: int, clients: int, repeats: int
+    workers: int, per_client_bytes: int, clients: int, repeats: int,
+    streams: int = STRIPE_STREAMS, telemetry: bool = False,
+    sample_interval_s: float = 0.25,
 ) -> float:
     """Aggregate MB/s of ``clients`` concurrent striped transfers
     through a ``workers``-worker fleet (best of ``repeats``).
@@ -384,6 +391,8 @@ async def fleet_point(
     The main loop keeps the fleet manager (front door, heartbeats);
     sinks+WAN emulators and senders each get their own thread+loop so
     the harness doesn't starve the workers it is measuring.
+    ``telemetry`` turns on each worker's telemetry endpoint *and*
+    time-series sampler — the knob the ``--overhead`` mode flips.
     """
     payload = bytes(bytearray(range(256)) * (per_client_bytes // 256))
     want = hashlib.sha256(payload).hexdigest()
@@ -394,6 +403,8 @@ async def fleet_point(
             workers=workers,
             heartbeat_s=0.1,
             onward_bind_hosts=ONWARD_HOSTS[:workers],
+            telemetry=telemetry,
+            sample_interval_s=sample_interval_s if telemetry else 0.0,
         )).start()
         jobs, wan_ports = [], []
         for _client in range(clients):
@@ -415,7 +426,7 @@ async def fleet_point(
                 ),
                 asyncio.to_thread(
                     _send_side_thread, fleet.port, wan_ports, payload,
-                    subs, STRIPE_STREAMS, STRIPE_BLOCK, STRIPE_WINDOW,
+                    subs, streams, STRIPE_BLOCK, STRIPE_WINDOW,
                     senders_done, send_out,
                 ),
             )
@@ -464,15 +475,68 @@ async def run_sweep(quick: bool) -> dict:
     return section
 
 
+async def run_overhead(quick: bool) -> dict:
+    """Re-measure the observability-overhead bound with the PR-9 plane
+    enabled: each point runs sampler-off then sampler-on (worker
+    telemetry endpoints + 0.25 s time-series samplers) and records the
+    throughput delta.  ``single_chain`` is one 1-stream transfer
+    through a 1-worker fleet (the adaptive relay path, no striping to
+    hide behind); ``fleet_w4`` is the full 4-worker striped point.  The
+    acceptance bar stays <3% — the same bound the span recorder held
+    in earlier PRs, now including the sampler.
+    """
+    repeats = 1 if quick else 2
+    per_mb = 3 if quick else 8
+    w4 = 2 if quick else 4
+    section: dict = {"bound_pct": 3.0, "sample_interval_s": 0.25}
+    worst = 0.0
+    for label, workers, clients, streams in (
+        ("single_chain", 1, 1, 1),
+        (f"fleet_w{w4}", w4, 2, STRIPE_STREAMS),
+    ):
+        nbytes = per_mb * workers * MB
+        off = await fleet_point(
+            workers, nbytes, clients, repeats, streams=streams
+        )
+        on = await fleet_point(
+            workers, nbytes, clients, repeats, streams=streams,
+            telemetry=True,
+        )
+        pct = round((off - on) / off * 100.0, 2)
+        section[label] = {
+            "off_mb_per_s": round(off, 1),
+            "on_mb_per_s": round(on, 1),
+            "overhead_pct": pct,
+        }
+        worst = max(worst, pct)
+        print(f"obs overhead {label}: {off:7.1f} -> {on:7.1f} MB/s "
+              f"({pct:+.2f}%)")
+    section["worst_pct"] = round(worst, 2)
+    section["pass"] = worst < section["bound_pct"]
+    return section
+
+
 async def run_smoke_drain(trace_dir: str) -> int:
     """CI scenario: drain a worker under an in-flight striped
     transfer; the payload must arrive bit-exact and all traces must
-    assemble flow-linked.  Returns a process exit code."""
+    assemble flow-linked.
+
+    Since PR 9 the smoke also exercises the fleet observability plane
+    end to end: per-worker telemetry + samplers, the admin endpoint,
+    a :class:`~repro.obs.aggregate.FleetAggregator` discovering the
+    workers through it, and an SLO engine whose ``drain-recovery``
+    rule must fire when the drain starts and resolve after the redial
+    — with the alert spans landing in the assembled causal trace.  The
+    aggregated time-series is written to ``timeseries.json`` in the
+    trace dir (the CI artifact).  Returns a process exit code."""
     from repro.core.aio import AioProxyClient
+    from repro.core.aio.fleetctl import FleetAdminServer
     from repro.obs import spans as _obs
     from repro.obs import trace as _trace
+    from repro.obs.aggregate import FleetAggregator, http_get, http_get_json
     from repro.obs.assemble import assemble
-    from repro.obs.export import write_artifacts
+    from repro.obs.export import dumps, write_artifacts
+    from repro.obs.slo import SLOEngine
 
     payload = bytes(bytearray(range(256)) * (8 * MB // 256))
     Path(trace_dir).mkdir(parents=True, exist_ok=True)
@@ -486,8 +550,23 @@ async def run_smoke_drain(trace_dir: str) -> int:
             heartbeat_s=0.1,
             drain_grace_s=0.4,
             onward_bind_hosts=ONWARD_HOSTS[:2],
+            telemetry=True,
+            sample_interval_s=0.2,
             trace_dir=trace_dir,
         )).start()
+        admin = await FleetAdminServer(fleet).start()
+        engine = SLOEngine()
+        aggregator = FleetAggregator(
+            "127.0.0.1", admin.bound_port, interval_s=0.1,
+            on_refresh=lambda _view, now: engine.evaluate_sampler(
+                aggregator.sampler, now
+            ),
+        )
+        agg_endpoint = aggregator.make_endpoint(
+            extra_routes={"/alerts": engine.alerts_route}
+        )
+        await agg_endpoint.start()
+        aggregator.start()
         client = AioProxyClient(outer_addr=("127.0.0.1", fleet.port))
         buckets: "dict[str, TokenBucket]" = {}
         sink_conns: asyncio.Queue = asyncio.Queue()
@@ -522,6 +601,30 @@ async def run_smoke_drain(trace_dir: str) -> int:
             await asyncio.sleep(0.35)
             if send_task.done():
                 failures.append("transfer finished before the drain fired")
+            # Pre-drain fleet view: both workers discovered through the
+            # admin port, scraped live, and labelled on the aggregated
+            # Prometheus endpoint.
+            view = await aggregator.refresh()
+            live = sorted(view["workers"])
+            if live != ["w0", "w1"]:
+                failures.append(f"aggregator discovered {live}, wanted w0+w1")
+            for wid in live:
+                w = view["workers"][wid]
+                if w.get("stale") or not w.get("scraped"):
+                    failures.append(f"worker {wid} not scraped live pre-drain")
+                if w.get("schema_version") != 2:
+                    failures.append(
+                        f"worker {wid} telemetry schema "
+                        f"{w.get('schema_version')!r}, wanted 2"
+                    )
+            prom = (await http_get(
+                "127.0.0.1", agg_endpoint.bound_port, "/metrics"
+            )).decode()
+            for wid in live:
+                if f'repro_worker_up{{worker="{wid}"}} 1' not in prom:
+                    failures.append(
+                        f"aggregated /metrics missing live label for {wid}"
+                    )
             snap = fleet.snapshot()
             victim = max(
                 snap["workers"],
@@ -544,7 +647,57 @@ async def run_smoke_drain(trace_dir: str) -> int:
             print(f"transfer survived: {report['reconnects']} redials, "
                   f"{report['requeued_blocks']} blocks requeued, "
                   f"0 bytes lost")
+            # Let the aggregator observe the completed drain so the
+            # drain-recovery alert resolves, then audit the SLO plane.
+            await aggregator.refresh()
+            episodes = [
+                a for a in engine.history if a.rule.name == "drain-recovery"
+            ]
+            if not episodes:
+                failures.append(
+                    "drain-recovery alert never fired during the drain"
+                )
+            elif episodes[-1].state != "resolved":
+                failures.append(
+                    f"drain-recovery alert stuck {episodes[-1].state}"
+                )
+            elif episodes[-1].breached:
+                failures.append(
+                    f"drain-recovery breached its bound: "
+                    f"{episodes[-1].duration_s:.2f}s"
+                )
+            alerts = await http_get_json(
+                "127.0.0.1", agg_endpoint.bound_port, "/alerts"
+            )
+            if not any(
+                e["rule"] == "drain-recovery" and e["state"] == "resolved"
+                for e in alerts.get("history", [])
+            ):
+                failures.append(
+                    "/alerts history missing the resolved drain-recovery "
+                    "episode"
+                )
+            post = await http_get_json(
+                "127.0.0.1", agg_endpoint.bound_port, "/metrics.json"
+            )
+            if post.get("aggregate", {}).get("derived", {}).get(
+                "bytes_relayed_total", 0
+            ) <= 0:
+                failures.append(
+                    "aggregated endpoint shows no bytes relayed post-drain"
+                )
+            print(
+                f"observability: {aggregator.rounds} scrape rounds, "
+                f"{len(engine.history)} alert episodes, "
+                f"{len(aggregator.sampler.samples)} fleet samples"
+            )
         finally:
+            ts_path = Path(trace_dir) / "timeseries.json"
+            ts_path.write_text(dumps(aggregator.sampler.export()) + "\n")
+            print(f"fleet time-series: {ts_path}")
+            await aggregator.stop()
+            await agg_endpoint.stop()
+            await admin.stop()
             await sink.close()
             await wan.stop()
             sink_srv.close()
@@ -561,6 +714,18 @@ async def run_smoke_drain(trace_dir: str) -> int:
             failures.append(f"missing trace artifact {path}")
             continue
         traces.append((stem, json.loads(path.read_text())))
+    # The SLO engine records on the client-side recorder, so the alert
+    # spans must sit in the same causal trace as the drain they track.
+    client_events = next(
+        (t["traceEvents"] for stem, t in traces if stem == "client"), []
+    )
+    slo_names = {
+        e.get("name") for e in client_events
+        if e.get("cat") == "slo" and e.get("ph") in ("i", "I", "X")
+    }
+    for wanted in ("fired:drain-recovery", "alert:drain-recovery"):
+        if wanted not in slo_names:
+            failures.append(f"client trace has no {wanted!r} SLO event")
     if traces:
         info = assemble(traces)["otherData"]["assembled"]
         print(f"assembled {len(traces)} traces: {info['flows']} flows, "
@@ -592,12 +757,37 @@ def main(argv=None) -> int:
         help="where --smoke-drain writes per-process trace artifacts "
         "(default: a temp dir)",
     )
+    parser.add_argument(
+        "--overhead", action="store_true",
+        help="measure observability overhead (telemetry + time-series "
+        "sampler on vs off) instead of the sweep; records "
+        "meta.obs_overhead in BENCH_relay.json",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke_drain:
         trace_dir = args.trace_dir or tempfile.mkdtemp(prefix="fleet-smoke-")
         print(f"trace artifacts: {trace_dir}")
         return asyncio.run(run_smoke_drain(trace_dir))
+
+    if args.overhead:
+        overhead = asyncio.run(run_overhead(args.quick))
+        if not overhead["pass"]:
+            print(f"WARNING: observability overhead "
+                  f"{overhead['worst_pct']:.2f}% exceeds the "
+                  f"{overhead['bound_pct']:.0f}% bound", file=sys.stderr)
+        target = Path(args.out) if args.out and args.out != "-" else (
+            repo_root() / "BENCH_relay.json"
+        )
+        results = {}
+        if args.out != "-" and target.exists():
+            with contextlib.suppress(ValueError, OSError):
+                results = json.loads(target.read_text())
+        if not results:
+            results = {"meta": bench_meta(quick=args.quick)}
+        results.setdefault("meta", {})["obs_overhead"] = overhead
+        emit_results(results, args.out, "BENCH_relay.json")
+        return 0
 
     section = asyncio.run(run_sweep(args.quick))
     speedup = section.get("w4_vs_w1_speedup")

@@ -139,6 +139,11 @@ class FleetSpec:
     drain_grace_s: float = 2.0
     #: Per-worker telemetry endpoints (port 0, reported in hello).
     telemetry: bool = False
+    #: Wall-clock period of each worker's time-series sampler
+    #: (telemetry mode only; 0 disables sampling).  The ring-buffered
+    #: history rides in the ``/metrics.json`` payload, which is what
+    #: the fleet aggregator turns into windowed rates/percentiles.
+    sample_interval_s: float = 1.0
     #: Directory for per-worker trace artifacts
     #: (``worker-<id>.trace.json``); also enables causal tracing with
     #: site prefix ``<trace_site>-w<index>``.
@@ -305,6 +310,7 @@ async def _worker_async(
     await outer.start()
 
     telemetry = None
+    sampler = None
     if spec.telemetry:
         from repro.obs.telemetry import TelemetryServer
 
@@ -315,11 +321,24 @@ async def _worker_async(
 
             registry = MetricsRegistry()
             registry.register_collector("relay", outer.stats.snapshot)
+        extra_fn = None
+        if spec.sample_interval_s > 0:
+            from repro.obs.timeseries import TimeSeriesSampler
+
+            sampler = TimeSeriesSampler(
+                registry.snapshot,
+                interval_s=spec.sample_interval_s,
+                domain="wall",
+            )
+            extra_fn = lambda: {"timeseries": sampler.export()}
         telemetry = TelemetryServer(
             registry.snapshot, host="127.0.0.1", port=0,
             extra={"role": "fleet-worker", "worker": worker_id},
+            extra_fn=extra_fn,
         )
         await telemetry.start()
+        if sampler is not None:
+            sampler.start_wall()
 
     sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     sock.connect(ctl_path)
@@ -435,6 +454,8 @@ async def _worker_async(
             task.cancel()
         if rt.chains:
             await asyncio.gather(*rt.chains, return_exceptions=True)
+        if sampler is not None:
+            await sampler.stop()
         if telemetry is not None:
             await telemetry.stop()
         await outer.stop()

@@ -91,6 +91,7 @@ class SimFleet:
         self.views: "Dict[str, WorkerView]" = {}
         self._chain_seq = 0
         self._hb_proc = None
+        self.sampler = None
         for outer in workers:
             wid = outer.host.name
             if wid in self.workers:
@@ -115,6 +116,24 @@ class SimFleet:
         while True:
             self.observe()
             yield self.sim.timeout(self.heartbeat_s)
+
+    def start_sampler(self, interval_s: float = 1.0, capacity: int = 240):
+        """Record the fleet snapshot into a sim-clock time series.
+
+        The sampler attaches through :meth:`Simulator.every`, so its
+        wakeups are ordinary heap events: the perturbation is identical
+        under every kernel mode and the exported series is byte-stable
+        across ``REPRO_SIM_KERNEL=seed|fast`` — same guarantee as the
+        kernel-throughput sampler in :mod:`repro.obs.spans`."""
+        from repro.obs.timeseries import TimeSeriesSampler
+
+        if self.sampler is None:
+            self.sampler = TimeSeriesSampler(
+                self.snapshot, interval_s=interval_s, capacity=capacity,
+                domain="sim",
+            )
+            self.sampler.attach_sim(self.sim, name="fleet-series-sampler")
+        return self.sampler
 
     def observe(self) -> None:
         """Sample every live worker's relay stats into its view — the

@@ -10,13 +10,18 @@ daemons exposing the telemetry endpoint::
     repro-obs assemble driver.trace.json outer.trace.json inner.trace.json \\
         -o run.trace.json
     repro-obs tail 127.0.0.1:9464 --count 10
+    repro-obs top 127.0.0.1:9490 --once
+    repro-obs alerts 127.0.0.1:9490 --once
 
 Exit codes are uniform across subcommands so scripts and CI can branch
 on them: **0** success (or ``diff`` found no differences), **1** a
-semantic failure (summaries differ, trace fails the schema check),
-**2** an input that could not be read at all (missing file, empty
-file, truncated/corrupt JSON, wrong format) — always with a one-line
-diagnostic naming the file and the reason.
+semantic failure (summaries differ, trace fails the schema check, an
+SLO alert is firing), **2** an input that could not be read at all
+(missing file, empty file, truncated/corrupt JSON, wrong format) —
+always with a one-line diagnostic naming the file and the reason —
+and **3** a live endpoint that stayed unreachable through the whole
+retry budget (the live subcommands reconnect with capped backoff when
+an endpoint restarts, e.g. a drained fleet worker).
 """
 
 from __future__ import annotations
@@ -37,14 +42,20 @@ from repro.obs.export import (
     validate_chrome_trace,
 )
 
-__all__ = ["main", "EXIT_OK", "EXIT_DIFFERS", "EXIT_UNREADABLE"]
+__all__ = ["main", "EXIT_OK", "EXIT_DIFFERS", "EXIT_UNREADABLE",
+           "EXIT_RETRIES"]
 
 #: ``diff`` clean / everything fine.
 EXIT_OK = 0
-#: Semantic failure: summaries differ, schema check failed.
+#: Semantic failure: summaries differ, schema check failed, an SLO
+#: alert is firing.
 EXIT_DIFFERS = 1
 #: Input unusable: missing, empty, truncated, or not an obs artifact.
 EXIT_UNREADABLE = 2
+#: A live endpoint stayed unreachable through the full retry budget
+#: (distinct from :data:`EXIT_UNREADABLE` so scripts can tell "the
+#: daemon went away and never came back" from "bad input").
+EXIT_RETRIES = 3
 
 
 class Unreadable(Exception):
@@ -217,15 +228,52 @@ def _flatten(prefix: str, value: Any, out: "dict[str, Any]") -> None:
         out[prefix] = value
 
 
-def _cmd_tail(args: argparse.Namespace) -> int:
-    target = args.endpoint
+def _endpoint_url(endpoint: str, path: str = "/metrics.json") -> str:
+    target = endpoint
     if "://" not in target:
         target = f"http://{target}"
-    url = target.rstrip("/") + "/metrics.json"
+    return target.rstrip("/") + path
+
+
+def _fetch_with_retry(
+    url: str, timeout: float, retries: int, max_backoff_s: float = 8.0
+) -> "dict[str, Any]":
+    """Fetch a live endpoint, retrying with capped exponential backoff.
+
+    A telemetry endpoint restarting (a fleet worker drained and
+    replaced, a daemon bounced) looks like a connection refusal for a
+    moment — the tail should ride through it, not die on the first
+    error.  Raises :class:`Unreadable` only after ``retries``
+    consecutive failures.
+    """
+    attempt = 0
+    while True:
+        try:
+            return _fetch_snapshot(url, timeout)
+        except Unreadable as exc:
+            attempt += 1
+            if attempt > retries:
+                raise
+            backoff = min(max_backoff_s, 0.25 * (2 ** (attempt - 1)))
+            stamp = time.strftime("%H:%M:%S")
+            print(
+                f"[{stamp}] {exc} — retry {attempt}/{retries} "
+                f"in {backoff:.2g}s",
+                file=sys.stderr,
+            )
+            time.sleep(backoff)
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    url = _endpoint_url(args.endpoint)
     prev: dict[str, Any] = {}
     polls = 0
     while True:
-        snap = _fetch_snapshot(url, args.timeout)
+        try:
+            snap = _fetch_with_retry(url, args.timeout, args.retries)
+        except Unreadable as exc:
+            print(f"repro-obs: {exc} (retries exhausted)", file=sys.stderr)
+            return EXIT_RETRIES
         flat: dict[str, Any] = {}
         _flatten("", snap.get("registry", {}), flat)
         polls += 1
@@ -247,6 +295,87 @@ def _cmd_tail(args: argparse.Namespace) -> int:
         prev = flat
         if args.count is not None and polls >= args.count:
             return EXIT_OK
+        time.sleep(args.interval)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import render
+
+    metrics_url = _endpoint_url(args.endpoint)
+    alerts_url = _endpoint_url(args.endpoint, "/alerts")
+    rate_history: list[float] = []
+    frames = 0
+    while True:
+        try:
+            payload = _fetch_with_retry(metrics_url, args.timeout, args.retries)
+        except Unreadable as exc:
+            print(f"repro-obs: {exc} (retries exhausted)", file=sys.stderr)
+            return EXIT_RETRIES
+        try:
+            alerts = _fetch_snapshot(alerts_url, args.timeout)
+        except Unreadable:
+            alerts = None  # endpoint without an SLO engine mounted
+        rate = (
+            payload.get("rollup", {})
+            .get("scalars", {})
+            .get("derived.bytes_relayed_total", {})
+            .get("rate")
+        )
+        if isinstance(rate, (int, float)):
+            rate_history.append(float(rate))
+            del rate_history[:-120]
+        frame = render(payload, alerts, rate_history or None)
+        if args.once:
+            sys.stdout.write(frame)
+            return EXIT_OK
+        if sys.stdout.isatty():
+            # Clear + home; the only escape codes the dashboard emits,
+            # and only when a human terminal is attached.
+            sys.stdout.write("\x1b[2J\x1b[H")
+        sys.stdout.write(frame)
+        sys.stdout.flush()
+        frames += 1
+        if args.count is not None and frames >= args.count:
+            return EXIT_OK
+        time.sleep(args.interval)
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    url = _endpoint_url(args.endpoint, "/alerts")
+    polls = 0
+    while True:
+        try:
+            status = _fetch_with_retry(url, args.timeout, args.retries)
+        except Unreadable as exc:
+            print(f"repro-obs: {exc} (retries exhausted)", file=sys.stderr)
+            return EXIT_RETRIES
+        polls += 1
+        if args.json:
+            print(dumps(status))
+        else:
+            stamp = time.strftime("%H:%M:%S")
+            active = status.get("active", {})
+            print(
+                f"[{stamp}] {len(status.get('rules', []))} rules, "
+                f"{len(active)} firing, "
+                f"{status.get('evaluations', 0)} evaluations"
+            )
+            for rule in status.get("rules", []):
+                value = rule.get("value")
+                shown = "-" if value is None else f"{value:g}"
+                print(
+                    f"  {rule.get('state', '?'):<8} {rule.get('name', '?'):<28}"
+                    f" value={shown}"
+                )
+            for a in status.get("history", []):
+                if a.get("state") == "resolved":
+                    dur = a.get("duration_s")
+                    dur_s = "-" if dur is None else f"{dur:.2f}s"
+                    flag = " BREACHED" if a.get("breached") else ""
+                    print(f"  episode  {a.get('rule', '?')} dur={dur_s}{flag}")
+        if args.once or (args.count is not None and polls >= args.count):
+            # Firing alerts are a semantic failure for scripts/CI.
+            return EXIT_DIFFERS if status.get("active") else EXIT_OK
         time.sleep(args.interval)
 
 
@@ -282,18 +411,50 @@ def main(argv: "list[str] | None" = None) -> int:
                    help="display label per input (default: the file path)")
     p.set_defaults(func=_cmd_assemble)
 
+    def live_flags(p: argparse.ArgumentParser, interval: float) -> None:
+        p.add_argument("--interval", type=float, default=interval,
+                       help=f"seconds between polls (default {interval:g})")
+        p.add_argument("--count", type=int, default=None,
+                       help="stop after N polls (default: run until "
+                       "interrupted)")
+        p.add_argument("--timeout", type=float, default=5.0,
+                       help="per-request timeout in seconds")
+        p.add_argument("--retries", type=int, default=5,
+                       help="consecutive fetch failures to ride through "
+                       "with capped backoff before giving up "
+                       f"(exit {EXIT_RETRIES}; default 5)")
+
     p = sub.add_parser(
         "tail", help="stream registry changes from a live telemetry endpoint"
     )
     p.add_argument("endpoint", help="host:port or URL of a daemon's "
                    "--telemetry-port listener")
-    p.add_argument("--interval", type=float, default=2.0,
-                   help="seconds between polls (default 2)")
-    p.add_argument("--count", type=int, default=None,
-                   help="stop after N polls (default: run until interrupted)")
-    p.add_argument("--timeout", type=float, default=5.0,
-                   help="per-request timeout in seconds")
+    live_flags(p, 2.0)
     p.set_defaults(func=_cmd_tail)
+
+    p = sub.add_parser(
+        "top", help="live fleet dashboard over an aggregated endpoint"
+    )
+    p.add_argument("endpoint", help="host:port or URL of the fleet's "
+                   "aggregated telemetry endpoint (repro-fleet --agg-port)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame, no escape codes, and exit "
+                   "(pipe/CI safe)")
+    live_flags(p, 1.0)
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "alerts", help="show SLO rule states and alert episodes"
+    )
+    p.add_argument("endpoint", help="host:port or URL of the aggregated "
+                   "endpoint (serves /alerts)")
+    p.add_argument("--once", action="store_true",
+                   help="one evaluation snapshot; exit 1 if anything is "
+                   "firing")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw status document")
+    live_flags(p, 2.0)
+    p.set_defaults(func=_cmd_alerts)
 
     args = parser.parse_args(argv)
     if args.command == "assemble" and args.labels and \

@@ -28,12 +28,19 @@ from typing import Any, Callable, Optional
 
 __all__ = [
     "TELEMETRY_FORMAT_TAG",
+    "TELEMETRY_SCHEMA_VERSION",
     "render_prometheus",
     "TelemetryServer",
 ]
 
 #: Stamped into the ``format`` key of every ``/metrics.json`` body.
 TELEMETRY_FORMAT_TAG = "repro-obs-telemetry-v1"
+
+#: Payload shape version.  v2 added ``schema_version`` itself plus the
+#: emit-time ``git_sha``/``dirty`` provenance pair, so artifacts
+#: assembled from a mixed-version fleet are detectable (the aggregator
+#: compares these across workers).
+TELEMETRY_SCHEMA_VERSION = 2
 
 
 def _sanitize(name: str) -> str:
@@ -113,7 +120,11 @@ class TelemetryServer:
     loop) and must return the registry snapshot dict.  ``extra`` is
     merged into the ``/metrics.json`` body — daemons put their identity
     (role, bound ports) there so ``repro-obs tail`` output is
-    self-describing.
+    self-describing.  ``extra_fn``, if given, is called per scrape and
+    its dict merged likewise (live payload extensions: the time-series
+    document, aggregator health).  ``routes`` maps extra GET paths to
+    zero-arg callables returning ``(content_type, body)`` — the SLO
+    engine mounts ``/alerts`` this way.
     """
 
     def __init__(
@@ -123,13 +134,19 @@ class TelemetryServer:
         port: int = 0,
         prefix: str = "repro",
         extra: "Optional[dict[str, Any]]" = None,
+        extra_fn: "Optional[Callable[[], dict[str, Any]]]" = None,
+        routes: "Optional[dict[str, Callable[[], tuple[str, str]]]]" = None,
     ) -> None:
         self.snapshot_fn = snapshot_fn
         self.host = host
         self.port = port
         self.prefix = prefix
         self.extra = dict(extra) if extra else {}
+        self.extra_fn = extra_fn
+        self.routes = dict(routes) if routes else {}
         self.scrapes = 0
+        self._git_sha: Optional[str] = None
+        self._git_dirty: Optional[bool] = None
         self._server: Optional[asyncio.base_events.Server] = None
 
     @property
@@ -139,6 +156,13 @@ class TelemetryServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> "TelemetryServer":
+        # Resolve provenance once at bind time (it forks git): the
+        # serving process can't change revision underneath itself, and
+        # scrapes must never block on a subprocess.
+        from repro.bench.results import git_dirty, git_revision
+
+        self._git_sha = git_revision()
+        self._git_dirty = git_dirty()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
@@ -168,7 +192,12 @@ class TelemetryServer:
                 return
             path = parts[1].split("?", 1)[0]
             self.scrapes += 1
-            if path == "/metrics":
+            # Mounted routes win over the builtins, so an aggregator
+            # can replace /metrics with a per-worker-labelled renderer.
+            if path in self.routes:
+                ctype, body = self.routes[path]()
+                await self._respond(writer, 200, ctype, body)
+            elif path == "/metrics":
                 body = render_prometheus(self.snapshot_fn(), self.prefix)
                 await self._respond(
                     writer, 200, "text/plain; version=0.0.4", body
@@ -176,10 +205,15 @@ class TelemetryServer:
             elif path == "/metrics.json":
                 payload: dict[str, Any] = {
                     "format": TELEMETRY_FORMAT_TAG,
+                    "schema_version": TELEMETRY_SCHEMA_VERSION,
+                    "git_sha": self._git_sha,
+                    "dirty": self._git_dirty,
                     "scrapes": self.scrapes,
                     "registry": self.snapshot_fn(),
                 }
                 payload.update(self.extra)
+                if self.extra_fn is not None:
+                    payload.update(self.extra_fn())
                 await self._respond(
                     writer, 200, "application/json",
                     json.dumps(payload, sort_keys=True) + "\n",

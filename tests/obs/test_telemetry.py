@@ -6,6 +6,7 @@ import json
 from repro.obs.metrics import LogHistogram, MetricsRegistry
 from repro.obs.telemetry import (
     TELEMETRY_FORMAT_TAG,
+    TELEMETRY_SCHEMA_VERSION,
     TelemetryServer,
     render_prometheus,
 )
@@ -75,6 +76,12 @@ def test_telemetry_server_serves_both_endpoints():
             assert status == 200
             payload = json.loads(body)
             assert payload["format"] == TELEMETRY_FORMAT_TAG
+            assert payload["schema_version"] == TELEMETRY_SCHEMA_VERSION
+            # Emit-time provenance (v2): resolved once at start().
+            assert payload["git_sha"] is None or isinstance(
+                payload["git_sha"], str
+            )
+            assert isinstance(payload["dirty"], bool)
             assert payload["role"] == "test"
             assert payload["registry"]["relay.chunks"] == 7
             assert payload["scrapes"] == 2
@@ -133,9 +140,12 @@ def test_obs_tail_follows_endpoint(capsys):
     assert "1 series" in out
 
 
-def test_obs_tail_unreachable_exits_2(capsys):
-    from repro.obs.cli import main as obs_main
+def test_obs_tail_unreachable_exhausts_retries_exits_3(capsys):
+    from repro.obs.cli import EXIT_RETRIES, main as obs_main
 
-    code = obs_main(["tail", "127.0.0.1:1", "--count", "1", "--timeout", "1"])
-    assert code == 2
+    code = obs_main([
+        "tail", "127.0.0.1:1", "--count", "1", "--timeout", "1",
+        "--retries", "0",
+    ])
+    assert code == EXIT_RETRIES == 3
     assert "repro-obs:" in capsys.readouterr().err
